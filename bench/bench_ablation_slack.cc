@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): fine-grained tRefSlack sweep (0..16 tRC) for
+ * periodic refresh at 128 Gb. The paper reports saturation beyond
+ * 2 tRC (Section 8); this sweep locates the knee in our model.
+ */
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Ablation - tRefSlack sweep, periodic refresh at 128 Gb",
+           "paper (Fig. 9b): benefits saturate beyond tRefSlack = "
+           "2 tRC");
+    knobsLine(knobs);
+
+    SweepRunner runner(knobs);
+    GeomSpec g;
+    g.capacityGb = 128.0;
+    SchemeSpec base;
+    base.kind = SchemeKind::Baseline;
+    double ws_base = runner.meanWs(g, base);
+
+    std::printf("%-12s %14s %16s %16s\n", "tRefSlack", "WS/Baseline",
+                "access-paired", "deadline misses");
+    for (int n : {0, 1, 2, 4, 8, 16}) {
+        SchemeSpec s;
+        s.kind = SchemeKind::HiraMc;
+        s.slackN = n;
+        double ws = runner.meanWs(g, s);
+        const RefreshStats &rs = runner.lastRefreshStats();
+        double paired =
+            rs.rowRefreshes == 0
+                ? 0.0
+                : static_cast<double>(rs.accessPaired) /
+                      static_cast<double>(rs.rowRefreshes);
+        std::printf("%-12s %14.3f %15.1f%% %16llu\n",
+                    strprintf("%d tRC", n).c_str(), ws / ws_base,
+                    100.0 * paired,
+                    static_cast<unsigned long long>(rs.deadlineMisses));
+    }
+    footer();
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 5 reproduction: histograms of absolute and normalized RowHammer
+ * thresholds with and without HiRA's second row activation refreshing
+ * the victim (Section 4.3).
+ */
+
+#include "bench_util.hh"
+#include "characterize/rowhammer.hh"
+#include "chip/modules.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Fig. 5 - RowHammer threshold with vs without HiRA",
+           "paper: 27.2K -> 51.0K average (1.9x); 88.1 % of rows above "
+           "1.7x");
+    knobsLine(knobs);
+
+    ModuleInfo module = moduleByLabel(
+        "C0", static_cast<std::uint32_t>(std::max(knobs.rows, 128)), 1);
+    DramChip chip(module.config);
+    std::uint32_t victims =
+        static_cast<std::uint32_t>(std::max(knobs.rows / 8, 24));
+    NormalizedNrhResult r =
+        measureNormalizedNrh(chip, 0, victimRows(chip.config(), victims));
+
+    std::printf("rows tested: %zu\n", r.normalized.size());
+    std::printf("absolute threshold without HiRA: mean %.0f (paper "
+                "27.2K)\n",
+                r.absoluteWithout.mean());
+    std::printf("absolute threshold with HiRA   : mean %.0f (paper "
+                "51.0K)\n",
+                r.absoluteWith.mean());
+    std::printf("normalized threshold           : mean %.2fx (paper "
+                "1.90x)\n",
+                r.normalized.mean());
+    std::printf("fraction of rows above 1.7x    : %.1f %% (paper "
+                "88.1 %%)\n",
+                100.0 * r.normalized.fractionAbove(1.7));
+
+    std::printf("\nFig. 5a histogram, absolute thresholds 10K..80K "
+                "(fraction of rows):\n");
+    auto h_without =
+        histogram(r.absoluteWithout.values(), 10e3, 80e3, 14);
+    auto h_with = histogram(r.absoluteWith.values(), 10e3, 80e3, 14);
+    std::printf("  without HiRA  |%s|\n", sparkline(h_without).c_str());
+    std::printf("  with HiRA     |%s|\n", sparkline(h_with).c_str());
+
+    std::printf("\nFig. 5b histogram, normalized thresholds "
+                "1.0x..3.0x:\n");
+    auto h_norm = histogram(r.normalized.values(), 1.0, 3.0, 16);
+    std::printf("  normalized    |%s|\n", sparkline(h_norm).c_str());
+    for (const HistBin &b : h_norm) {
+        if (b.count > 0) {
+            std::printf("  [%4.2f, %4.2f): %5.1f %%\n", b.lo, b.hi,
+                        100.0 * b.fraction);
+        }
+    }
+    footer();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 9 reproduction: periodic-refresh performance vs DRAM chip
+ * capacity (2..128 Gb) for the REF baseline and HiRA-{0,2,4,8},
+ * normalized to the ideal No-Refresh system (9a) and to the baseline
+ * (9b). 8-core multiprogrammed mixes, weighted speedup.
+ */
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Fig. 9 - periodic refresh vs chip capacity",
+           "paper: baseline degrades 26.3 % at 128 Gb; HiRA-2 improves "
+           "12.6 % over baseline at 128 Gb; HiRA-2 ~ HiRA-4 ~ HiRA-8");
+    knobsLine(knobs);
+
+    SweepRunner runner(knobs);
+    const std::vector<double> capacities = {2, 4, 8, 16, 32, 64, 128};
+    std::vector<std::string> cols;
+    for (double c : capacities)
+        cols.push_back(strprintf("%.0fGb", c));
+
+    std::vector<SchemeSpec> schemes;
+    {
+        SchemeSpec base;
+        base.kind = SchemeKind::Baseline;
+        schemes.push_back(base);
+        for (int n : {0, 2, 4, 8}) {
+            SchemeSpec h;
+            h.kind = SchemeKind::HiraMc;
+            h.slackN = n;
+            schemes.push_back(h);
+        }
+    }
+
+    // No-Refresh reference per capacity.
+    std::vector<double> noref;
+    for (double cap : capacities) {
+        GeomSpec g;
+        g.capacityGb = cap;
+        SchemeSpec none;
+        none.kind = SchemeKind::NoRefresh;
+        noref.push_back(runner.meanWs(g, none));
+    }
+
+    std::vector<std::vector<double>> ws(schemes.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        for (double cap : capacities) {
+            GeomSpec g;
+            g.capacityGb = cap;
+            ws[si].push_back(runner.meanWs(g, schemes[si]));
+        }
+    }
+
+    std::printf("Fig. 9a: weighted speedup normalized to No Refresh\n");
+    seriesHeader("scheme", cols);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        std::vector<double> row;
+        for (std::size_t ci = 0; ci < capacities.size(); ++ci)
+            row.push_back(ws[si][ci] / noref[ci]);
+        seriesRow(schemes[si].label(), row);
+    }
+
+    std::printf("\nFig. 9b: weighted speedup normalized to Baseline\n");
+    seriesHeader("scheme", cols);
+    for (std::size_t si = 1; si < schemes.size(); ++si) {
+        std::vector<double> row;
+        for (std::size_t ci = 0; ci < capacities.size(); ++ci)
+            row.push_back(ws[si][ci] / ws[0][ci]);
+        seriesRow(schemes[si].label(), row);
+    }
+
+    std::printf("\nheadlines at 128 Gb: baseline overhead %.1f %% "
+                "(paper 26.3 %%), HiRA-2 vs baseline %+.1f %% (paper "
+                "+12.6 %%)\n",
+                100.0 * (1.0 - ws[0].back() / noref.back()),
+                100.0 * (ws[2].back() / ws[0].back() - 1.0));
+    footer();
+    return 0;
+}

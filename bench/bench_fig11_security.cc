@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 11 reproduction (plus the Fig. 10 model underneath): PARA's
+ * probability threshold pth vs RowHammer threshold for different
+ * tRefSlack values (11a), and the true RowHammer success probability of
+ * PARA-Legacy's configuration (11b).
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "dram/timing.hh"
+#include "security/para_analysis.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    banner("Fig. 11 - PARA configuration under queueing slack",
+           "paper: pth 0.068 -> 0.860 as NRH 1024 -> 64; legacy pRH up "
+           "to 1.32e-15 while strict stays at 1e-15");
+
+    TimingParams tp;
+    const std::vector<double> nrh_values = {1024, 512, 256, 128, 64};
+    const std::vector<int> slack_n = {0, 2, 4, 8};
+
+    std::printf("Fig. 11a: PARA probability threshold (pth)\n");
+    std::vector<std::string> cols = {"NRH=1024", "512", "256", "128",
+                                     "64"};
+    seriesHeader("config", cols);
+    {
+        std::vector<double> legacy;
+        for (double nrh : nrh_values)
+            legacy.push_back(solvePthLegacy(nrh));
+        seriesRow("PARA-Legacy", legacy, "%9.4f");
+    }
+    for (int n : slack_n) {
+        double slack_ns = n * tp.tRC;
+        std::vector<double> row;
+        for (double nrh : nrh_values)
+            row.push_back(solvePth(nrh, slackActivations(slack_ns)));
+        seriesRow(strprintf("tRefSlack=%dtRC", n), row, "%9.4f");
+    }
+
+    std::printf("\nFig. 11b: overall RowHammer success probability "
+                "(x1e-15) when pth is configured per PARA-Legacy\n");
+    seriesHeader("config", cols);
+    for (int n : slack_n) {
+        double slack_ns = n * tp.tRC;
+        std::vector<double> row;
+        for (double nrh : nrh_values) {
+            double legacy = solvePthLegacy(nrh);
+            row.push_back(rowHammerSuccess(legacy, nrh,
+                                           slackActivations(slack_ns)) /
+                          1e-15);
+        }
+        seriesRow(strprintf("legacy@slack=%dtRC", n), row, "%9.3f");
+    }
+    {
+        std::vector<double> row;
+        for (double nrh : nrh_values) {
+            double p = solvePth(nrh, 0.0);
+            row.push_back(rowHammerSuccess(p, nrh, 0.0) / 1e-15);
+        }
+        seriesRow("strict (ours)", row, "%9.3f");
+    }
+
+    std::printf("\nExpression 9 k-factor anchors: k(NRH=50K,pth=0.001)="
+                "%.4f (paper 1.0005); k(pth=0.8341,NRH=64)=%.4f (paper "
+                "1.3212)\n",
+                kFactor(0.001, 50000.0, 0.0), kFactor(0.8341, 64.0, 0.0));
+    footer();
+    return 0;
+}

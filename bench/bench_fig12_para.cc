@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 12 reproduction: PARA's performance impact with and without
+ * HiRA across RowHammer thresholds (1024 down to 64), normalized to a
+ * baseline with no RowHammer defense (12a) and to plain PARA (12b).
+ * Periodic refresh stays on REF commands; HiRA serves the preventive
+ * refreshes (Section 9.2).
+ */
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Fig. 12 - PARA preventive refreshes with and without HiRA",
+           "paper: PARA costs 29 % at NRH=1024 and 96 % at NRH=64; "
+           "HiRA-4 gives 3.73x at NRH=64; slack helps monotonically");
+    knobsLine(knobs);
+
+    SweepRunner runner(knobs);
+    const std::vector<double> nrh_values = {1024, 512, 256, 128, 64};
+    std::vector<std::string> cols;
+    for (double n : nrh_values)
+        cols.push_back(strprintf("NRH=%.0f", n));
+
+    // Reference: baseline refresh, no RowHammer defense.
+    std::vector<double> base_ws;
+    {
+        SchemeSpec base;
+        base.kind = SchemeKind::Baseline;
+        GeomSpec g;
+        double ws = runner.meanWs(g, base);
+        base_ws.assign(nrh_values.size(), ws);
+    }
+
+    // PARA without HiRA, then HiRA-{0,2,4,8} for the preventives.
+    std::vector<std::vector<double>> ws;
+    std::vector<std::string> labels;
+    {
+        std::vector<double> row;
+        for (double nrh : nrh_values) {
+            SchemeSpec s;
+            s.kind = SchemeKind::Baseline;
+            s.paraEnabled = true;
+            s.nrh = nrh;
+            GeomSpec g;
+            row.push_back(runner.meanWs(g, s));
+        }
+        ws.push_back(row);
+        labels.push_back("PARA");
+    }
+    for (int n : {0, 2, 4, 8}) {
+        std::vector<double> row;
+        for (double nrh : nrh_values) {
+            SchemeSpec s;
+            s.kind = SchemeKind::Baseline; // periodic stays on REF
+            s.paraEnabled = true;
+            s.preventiveViaHira = true;
+            s.slackN = n;
+            s.nrh = nrh;
+            GeomSpec g;
+            row.push_back(runner.meanWs(g, s));
+        }
+        ws.push_back(row);
+        labels.push_back(strprintf("HiRA-%d", n));
+    }
+
+    std::printf("Fig. 12a: weighted speedup normalized to no-defense "
+                "baseline\n");
+    seriesHeader("scheme", cols);
+    for (std::size_t si = 0; si < ws.size(); ++si) {
+        std::vector<double> row;
+        for (std::size_t ni = 0; ni < nrh_values.size(); ++ni)
+            row.push_back(ws[si][ni] / base_ws[ni]);
+        seriesRow(labels[si], row);
+    }
+
+    std::printf("\nFig. 12b: weighted speedup normalized to PARA\n");
+    seriesHeader("scheme", cols);
+    for (std::size_t si = 1; si < ws.size(); ++si) {
+        std::vector<double> row;
+        for (std::size_t ni = 0; ni < nrh_values.size(); ++ni)
+            row.push_back(ws[si][ni] / ws[0][ni]);
+        seriesRow(labels[si], row);
+    }
+
+    std::size_t last = nrh_values.size() - 1;
+    std::printf("\nheadlines at NRH=64: PARA overhead %.1f %% (paper "
+                "96.0 %%); HiRA-4 speedup over PARA %.2fx (paper "
+                "3.73x)\n",
+                100.0 * (1.0 - ws[0][last] / base_ws[last]),
+                ws[3][last] / ws[0][last]);
+    footer();
+    return 0;
+}

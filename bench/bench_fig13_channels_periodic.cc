@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 13 reproduction: effect of channel count (1..8) on Baseline and
+ * HiRA-{2,4} periodic-refresh performance for 2 / 8 / 32 Gb chips,
+ * normalized to the 1-channel 1-rank baseline.
+ */
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Fig. 13 - channel-count sweep, periodic refresh",
+           "paper: performance rises with channels for all schemes; "
+           "HiRA-2 keeps +8.1 % over baseline at 8 channels / 32 Gb");
+    knobsLine(knobs);
+
+    SweepRunner runner(knobs);
+    const std::vector<int> channels = {1, 2, 4, 8};
+    std::vector<std::string> cols;
+    for (int ch : channels)
+        cols.push_back(strprintf("%dch", ch));
+
+    for (double cap : {2.0, 8.0, 32.0}) {
+        GeomSpec ref;
+        ref.capacityGb = cap;
+        SchemeSpec base;
+        base.kind = SchemeKind::Baseline;
+        double ws_ref = runner.meanWs(ref, base);
+
+        std::printf("%.0f Gb chips (normalized to 1ch-1rank "
+                    "baseline)\n",
+                    cap);
+        seriesHeader("scheme", cols);
+        for (const char *label : {"Baseline", "HiRA-2", "HiRA-4"}) {
+            SchemeSpec s;
+            if (std::string(label) == "Baseline") {
+                s.kind = SchemeKind::Baseline;
+            } else {
+                s.kind = SchemeKind::HiraMc;
+                s.slackN = std::string(label) == "HiRA-2" ? 2 : 4;
+            }
+            std::vector<double> row;
+            for (int ch : channels) {
+                GeomSpec g;
+                g.capacityGb = cap;
+                g.channels = ch;
+                row.push_back(runner.meanWs(g, s) / ws_ref);
+            }
+            seriesRow(label, row);
+        }
+        std::printf("\n");
+    }
+    footer();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 14 reproduction: effect of rank count (1..8) on Baseline and
+ * HiRA-{2,4} periodic-refresh performance for 2 / 8 / 32 Gb chips.
+ * Ranks share one command bus, so high rank counts expose HiRA's
+ * command-bus pressure (Section 12, third limitation).
+ */
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Fig. 14 - rank-count sweep, periodic refresh",
+           "paper: 2 ranks best; beyond 2 the shared command bus "
+           "saturates; HiRA-2 still +12.1 % over baseline at 8 ranks / "
+           "32 Gb");
+    knobsLine(knobs);
+
+    SweepRunner runner(knobs);
+    const std::vector<int> ranks = {1, 2, 4, 8};
+    std::vector<std::string> cols;
+    for (int r : ranks)
+        cols.push_back(strprintf("%drk", r));
+
+    for (double cap : {2.0, 8.0, 32.0}) {
+        GeomSpec ref;
+        ref.capacityGb = cap;
+        SchemeSpec base;
+        base.kind = SchemeKind::Baseline;
+        double ws_ref = runner.meanWs(ref, base);
+
+        std::printf("%.0f Gb chips (normalized to 1ch-1rank "
+                    "baseline)\n",
+                    cap);
+        seriesHeader("scheme", cols);
+        for (const char *label : {"Baseline", "HiRA-2", "HiRA-4"}) {
+            SchemeSpec s;
+            if (std::string(label) == "Baseline") {
+                s.kind = SchemeKind::Baseline;
+            } else {
+                s.kind = SchemeKind::HiraMc;
+                s.slackN = std::string(label) == "HiRA-2" ? 2 : 4;
+            }
+            std::vector<double> row;
+            for (int r : ranks) {
+                GeomSpec g;
+                g.capacityGb = cap;
+                g.ranks = r;
+                row.push_back(runner.meanWs(g, s) / ws_ref);
+            }
+            seriesRow(label, row);
+        }
+        std::printf("\n");
+    }
+    footer();
+    return 0;
+}

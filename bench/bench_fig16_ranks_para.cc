@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 16 reproduction: effect of rank count (1..8) on PARA with and
+ * without HiRA for RowHammer thresholds 1024 / 256 / 64.
+ */
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Fig. 16 - rank-count sweep, PARA preventive refreshes",
+           "paper: 2 ranks best; HiRA-2 (HiRA-4) +30.5 % (+42.9 %) over "
+           "PARA at 8 ranks, NRH=64");
+    knobsLine(knobs);
+
+    SweepRunner runner(knobs);
+    const std::vector<int> ranks = {1, 2, 4, 8};
+    std::vector<std::string> cols;
+    for (int r : ranks)
+        cols.push_back(strprintf("%drk", r));
+
+    GeomSpec ref;
+    SchemeSpec base;
+    base.kind = SchemeKind::Baseline;
+    double ws_ref = runner.meanWs(ref, base);
+
+    for (double nrh : {1024.0, 256.0, 64.0}) {
+        std::printf("NRH = %.0f (normalized to 1ch-1rank no-defense "
+                    "baseline)\n",
+                    nrh);
+        seriesHeader("scheme", cols);
+        for (int slack : {-1, 2, 4}) {
+            SchemeSpec s;
+            s.kind = SchemeKind::Baseline;
+            s.paraEnabled = true;
+            s.nrh = nrh;
+            std::string label = "PARA";
+            if (slack >= 0) {
+                s.preventiveViaHira = true;
+                s.slackN = slack;
+                label = strprintf("HiRA-%d", slack);
+            }
+            std::vector<double> row;
+            for (int r : ranks) {
+                GeomSpec g;
+                g.ranks = r;
+                row.push_back(runner.meanWs(g, s) / ws_ref);
+            }
+            seriesRow(label, row);
+        }
+        std::printf("\n");
+    }
+    footer();
+    return 0;
+}

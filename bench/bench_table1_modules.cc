@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 1 / Table 4 reproduction: per-module HiRA coverage (min/avg/max)
+ * and normalized RowHammer threshold (min/avg/max) for the seven tested
+ * DDR4 modules, plus the non-HiRA vendor behavior (Section 12).
+ */
+
+#include "bench_util.hh"
+#include "characterize/coverage.hh"
+#include "characterize/rowhammer.hh"
+#include "chip/modules.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    banner("Table 1 / Table 4 - tested DDR4 modules",
+           "HiRA coverage and normalized RowHammer threshold per module");
+    knobsLine(knobs);
+
+    std::uint32_t chip_rows =
+        static_cast<std::uint32_t>(std::max(knobs.rows, 128));
+    std::uint32_t tested =
+        static_cast<std::uint32_t>(std::max(knobs.rows / 4, 48));
+    std::uint32_t victims =
+        static_cast<std::uint32_t>(std::max(knobs.rows / 16, 12));
+
+    std::printf("%-6s %-10s | %-29s | %-29s\n", "module", "vendor",
+                "coverage min/avg/max (paper)", "norm NRH min/avg/max "
+                "(paper)");
+    for (const ModuleInfo &m : hiraModules(chip_rows, 2)) {
+        DramChip chip(m.config);
+        CoverageConfig ccfg;
+        ccfg.rows = spreadRows(chip.config(), tested);
+        ccfg.allPatterns = false;
+        CoverageResult cov = measureCoverage(chip, ccfg);
+        NormalizedNrhResult nrh = measureNormalizedNrh(
+            chip, 0, victimRows(chip.config(), victims));
+        BoxStats cb = cov.box();
+        BoxStats nb = nrh.normalized.box();
+        std::printf("%-6s %-10s | %4.1f/%4.1f/%4.1f%% "
+                    "(%4.1f/%4.1f/%4.1f) | %4.2f/%4.2f/%4.2f "
+                    "(%4.2f/%4.2f/%4.2f)\n",
+                    m.label.c_str(), m.vendor.c_str(), 100.0 * cb.min,
+                    100.0 * cb.mean, 100.0 * cb.max,
+                    100.0 * m.paper.covMin, 100.0 * m.paper.covAvg,
+                    100.0 * m.paper.covMax, nb.min, nb.mean, nb.max,
+                    m.paper.nrhMin, m.paper.nrhAvg, m.paper.nrhMax);
+    }
+
+    // Non-HiRA vendors (Section 12): Algorithm 1 shows no corruption
+    // (false positive), Algorithm 2 shows the threshold does not move.
+    for (const char *label : {"micron-like", "samsung-like"}) {
+        DramChip chip(nonHiraVendorConfig(label, chip_rows, 1));
+        NormalizedNrhResult nrh = measureNormalizedNrh(
+            chip, 0, victimRows(chip.config(), victims / 2 + 2));
+        std::printf("%-6s %-10s | %-29s | %4.2f/%4.2f/%4.2f (~1.0: HiRA "
+                    "ignored)\n",
+                    label, "-", "n/a (Alg.1 false-positive)",
+                    nrh.normalized.box().min, nrh.normalized.box().mean,
+                    nrh.normalized.box().max);
+    }
+    note("coverage spread per module is wider than Table 4's (binomial "
+         "sampling noise of the behavioral isolation map); module means "
+         "and ordering match");
+    footer();
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 2 reproduction: area and access latency of HiRA-MC's components
+ * (22 nm SRAM model), plus the Section 6.2 worst-case query latency
+ * argument.
+ */
+
+#include "bench_util.hh"
+#include "hwmodel/sram_model.hh"
+
+using namespace hira;
+using namespace hira::benchutil;
+
+int
+main()
+{
+    banner("Table 2 - HiRA-MC hardware complexity (per DRAM rank)",
+           "paper: 0.00923 mm^2 total, 6.31 ns worst-case query < tRP");
+
+    HiraMcCost cost = hiraMcCost();
+    std::printf("%-28s %12s %12s %12s %12s\n", "component", "area mm^2",
+                "paper", "access ns", "paper");
+    for (const ComponentCost *c : cost.components()) {
+        std::printf("%-28s %12.5f %12.5f %12.2f %12.2f\n",
+                    c->name.c_str(), c->sram.areaMm2, c->paperAreaMm2,
+                    c->sram.accessNs, c->paperAccessNs);
+    }
+    std::printf("%-28s %12.5f %12.5f\n", "overall", cost.totalAreaMm2(),
+                0.00923);
+    std::printf("\nworst-case query latency (68 pipelined Refresh-Table/"
+                "SPT iterations + RefPtr): %.2f ns (paper 6.31 ns)\n",
+                cost.worstCaseQueryNs());
+    std::printf("fits within tRP (14.25 ns): %s\n",
+                cost.worstCaseQueryNs() < 14.25 ? "yes" : "NO");
+    std::printf("fraction of a 22 nm processor die: %.5f %% (paper "
+                "0.0023 %%)\n",
+                100.0 * cost.dieFraction());
+    footer();
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: headered series printing
+ * in the layout of the paper's tables/figures, and paper-vs-measured
+ * annotation.
+ */
+
+#ifndef HIRA_BENCH_BENCH_UTIL_HH
+#define HIRA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/knobs.hh"
+#include "common/logging.hh"
+
+namespace hira {
+namespace benchutil {
+
+using hira::strprintf;
+
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("-----------------------------------------------------------"
+                "---------------------\n");
+}
+
+inline void
+knobsLine(const BenchKnobs &k)
+{
+    std::printf("scale: HIRA_MIXES=%d HIRA_CYCLES=%lld HIRA_WARMUP=%lld "
+                "HIRA_ROWS=%d HIRA_THREADS=%d (paper scale: 125 mixes, "
+                "200M instrs, 6K rows)\n",
+                k.mixes, static_cast<long long>(k.cycles),
+                static_cast<long long>(k.warmup), k.rows, k.threads);
+}
+
+/** Print one row of a fixed-width series table. */
+inline void
+seriesRow(const std::string &label, const std::vector<double> &values,
+          const char *fmt = "%9.3f")
+{
+    std::printf("%-24s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+inline void
+seriesHeader(const std::string &label,
+             const std::vector<std::string> &columns)
+{
+    std::printf("%-24s", label.c_str());
+    for (const std::string &c : columns)
+        std::printf("%9s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+inline void
+footer()
+{
+    std::printf("==========================================================="
+                "=====================\n\n");
+}
+
+} // namespace benchutil
+} // namespace hira
+
+#endif // HIRA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Configuring PARA for a target reliability: the Section 9.1 analysis
+ * as a command-line tool. Prints the probability threshold required for
+ * a chip's RowHammer threshold under a chosen queueing slack, and what
+ * would happen with PARA-Legacy's optimistic configuration.
+ *
+ * Usage: ./build/examples/para_security [nrh] [slack_in_tRC]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dram/timing.hh"
+#include "security/para_analysis.hh"
+
+using namespace hira;
+
+int
+main(int argc, char **argv)
+{
+    double nrh = argc > 1 ? std::atof(argv[1]) : 128.0;
+    int slack_n = argc > 2 ? std::atoi(argv[2]) : 4;
+
+    TimingParams tp;
+    ParaParams pp;
+    double slack_acts = slackActivations(slack_n * tp.tRC, pp);
+
+    std::printf("chip RowHammer threshold (NRH)  : %.0f activations\n",
+                nrh);
+    std::printf("refresh window / row cycle      : %.0f activations\n",
+                pp.windowActivations());
+    std::printf("queueing slack                  : %d tRC (%.1f extra "
+                "activations)\n",
+                slack_n, slack_acts);
+
+    double pth = solvePth(nrh, slack_acts, pp);
+    std::printf("\nrequired PARA threshold (Expression 8, target "
+                "1e-15): pth = %.4f\n", pth);
+    std::printf("  -> every row activation triggers a preventive "
+                "refresh with %.2f %% probability\n", 100.0 * pth);
+
+    double legacy = solvePthLegacy(nrh, pp);
+    double true_prh = rowHammerSuccess(legacy, nrh, slack_acts, pp);
+    std::printf("\nPARA-Legacy would pick pth = %.4f, whose true "
+                "success probability under this slack is %.3g "
+                "(%.2fx the 1e-15 target)\n",
+                legacy, true_prh, true_prh / 1e-15);
+    std::printf("k factor at the legacy threshold: %.4f\n",
+                kFactor(legacy, nrh, slack_acts, pp));
+    return 0;
+}

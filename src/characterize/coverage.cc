@@ -1,0 +1,109 @@
+#include "characterize/coverage.hh"
+
+#include "common/logging.hh"
+
+namespace hira {
+
+double
+CoverageResult::zeroFraction() const
+{
+    if (perRow.empty())
+        return 0.0;
+    std::size_t zeros = 0;
+    for (double c : perRow)
+        zeros += c == 0.0 ? 1 : 0;
+    return static_cast<double>(zeros) / static_cast<double>(perRow.size());
+}
+
+bool
+hiraPairWorks(SoftMCHost &host, BankId bank, RowId row_a, RowId row_b,
+              double t1, double t2, bool all_patterns)
+{
+    if (row_a == row_b)
+        return false;
+    int npat = all_patterns ? 4 : 2;
+    for (int pi = 0; pi < npat; ++pi) {
+        DataPattern p = kAllPatterns[pi];
+        // Initialize the two rows with inverse data patterns (lines 7-8).
+        host.initializeRow(bank, row_a, p);
+        host.initializeRow(bank, row_b, invert(p));
+        // Perform HiRA and close both rows (lines 11-16).
+        host.hiraOp(bank, row_a, row_b, t1, t2);
+        // Read back and check for bit flips (lines 19-20).
+        bool a_ok = host.compareRow(bank, row_a, p);
+        bool b_ok = host.compareRow(bank, row_b, invert(p));
+        if (!(a_ok && b_ok))
+            return false;
+    }
+    return true;
+}
+
+std::vector<RowId>
+spreadRows(const ChipConfig &cfg, std::uint32_t count)
+{
+    std::vector<RowId> rows;
+    count = std::min(count, cfg.rowsPerBank);
+    if (count == 0)
+        return rows;
+    // Even stride across the bank so every subarray is represented,
+    // mirroring the paper's first/middle/last-2K selection (footnote 4).
+    double stride = static_cast<double>(cfg.rowsPerBank) / count;
+    rows.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        RowId r = static_cast<RowId>(static_cast<double>(i) * stride);
+        if (r >= cfg.rowsPerBank)
+            r = cfg.rowsPerBank - 1;
+        if (rows.empty() || rows.back() != r)
+            rows.push_back(r);
+    }
+    return rows;
+}
+
+CoverageResult
+measureCoverage(DramChip &chip, const CoverageConfig &cfg)
+{
+    SoftMCHost host(chip);
+    CoverageResult result;
+    result.rows = cfg.rows;
+    if (result.rows.empty()) {
+        result.rows.resize(chip.config().rowsPerBank);
+        for (RowId r = 0; r < chip.config().rowsPerBank; ++r)
+            result.rows[r] = r;
+    }
+
+    for (RowId row_a : result.rows) {
+        std::uint32_t row_count = 0;
+        for (RowId row_b : result.rows) {
+            if (row_b == row_a)
+                continue;
+            if (hiraPairWorks(host, cfg.bank, row_a, row_b, cfg.t1,
+                              cfg.t2, cfg.allPatterns)) {
+                ++row_count;
+            }
+        }
+        double coverage = static_cast<double>(row_count) /
+                          static_cast<double>(result.rows.size());
+        result.perRow.push_back(coverage);
+        result.samples.add(coverage);
+    }
+    return result;
+}
+
+RowId
+findHiraPartner(SoftMCHost &host, BankId bank, RowId row, double t1,
+                double t2)
+{
+    const ChipConfig &cfg = host.chipRef().config();
+    std::uint32_t rows_per_sub = cfg.rowsPerSubarray();
+    // Probe one candidate per subarray, offset to avoid row 0 artifacts.
+    for (SubarrayId s = 0; s < cfg.subarraysPerBank; ++s) {
+        RowId cand = s * rows_per_sub + rows_per_sub / 2;
+        if (cand == row || cand >= cfg.rowsPerBank)
+            continue;
+        if (hiraPairWorks(host, bank, row, cand, t1, t2))
+            return cand;
+    }
+    return kNoRow;
+}
+
+} // namespace hira

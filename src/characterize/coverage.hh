@@ -1,0 +1,72 @@
+/**
+ * @file
+ * HiRA coverage characterization (Algorithm 1, Section 4.2).
+ *
+ * For a given row (RowA), coverage is the fraction of other tested rows
+ * (RowB) in the same bank that HiRA can reliably activate concurrently
+ * with RowA: initialize the pair with inverse data patterns, perform
+ * HiRA, close both rows, and read both back — for all four data
+ * patterns. A pair counts only if no bit flips in either row for any
+ * pattern.
+ */
+
+#ifndef HIRA_CHARACTERIZE_COVERAGE_HH
+#define HIRA_CHARACTERIZE_COVERAGE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "softmc/host.hh"
+
+namespace hira {
+
+/** Parameters of one coverage experiment. */
+struct CoverageConfig
+{
+    double t1 = 3.0;            //!< first ACT to PRE (ns)
+    double t2 = 3.0;            //!< PRE to second ACT (ns)
+    BankId bank = 0;
+    std::vector<RowId> rows;    //!< tested rows; empty = all chip rows
+    bool allPatterns = true;    //!< all four patterns vs just 0xFF/0x00
+};
+
+/** Result: per-RowA coverage plus the aggregate distribution. */
+struct CoverageResult
+{
+    std::vector<RowId> rows;
+    std::vector<double> perRow; //!< coverage of rows[i]
+    SampleSet samples;
+
+    BoxStats box() const { return samples.box(); }
+    double mean() const { return samples.mean(); }
+    /** Fraction of tested rows with zero coverage. */
+    double zeroFraction() const;
+};
+
+/**
+ * Algorithm 1's inner test: can HiRA concurrently activate (row_a,
+ * row_b)? Runs the full init / HiRA / close / verify sequence for each
+ * data pattern.
+ */
+bool hiraPairWorks(SoftMCHost &host, BankId bank, RowId row_a, RowId row_b,
+                   double t1, double t2, bool all_patterns = true);
+
+/** Algorithm 1: HiRA coverage for every tested RowA. */
+CoverageResult measureCoverage(DramChip &chip, const CoverageConfig &cfg);
+
+/**
+ * Find a row HiRA can pair with @p row (the "dummy row" of
+ * Algorithm 2). Returns kNoRow if no tested candidate works — the
+ * signature of a chip that ignores HiRA... almost: on such chips every
+ * pair *appears* to work (no corruption), which is why Algorithm 2
+ * exists. Candidates are probed across subarrays.
+ */
+RowId findHiraPartner(SoftMCHost &host, BankId bank, RowId row, double t1,
+                      double t2);
+
+/** Default tested-row selection: @p count rows spread across the bank. */
+std::vector<RowId> spreadRows(const ChipConfig &cfg, std::uint32_t count);
+
+} // namespace hira
+
+#endif // HIRA_CHARACTERIZE_COVERAGE_HH

@@ -1,0 +1,109 @@
+#include "characterize/rowhammer.hh"
+
+#include "characterize/coverage.hh"
+#include "common/logging.hh"
+
+namespace hira {
+
+bool
+rhTestOnce(SoftMCHost &host, const RhConfig &cfg, RowId victim,
+           RowId dummy_row, std::uint64_t hc, bool with_hira)
+{
+    const ChipConfig &chip_cfg = host.chipRef().config();
+    hira_assert(victim > 0 && victim + 1 < chip_cfg.rowsPerBank);
+    RowId aggr_a = victim - 1;
+    RowId aggr_b = victim + 1;
+
+    // Step 1: initialize the four rows (victim gets the pattern, the
+    // dummy and both aggressors the inverse).
+    host.initializeRow(cfg.bank, victim, cfg.pattern);
+    if (dummy_row != kNoRow && dummy_row != victim)
+        host.initializeRow(cfg.bank, dummy_row, invert(cfg.pattern));
+    host.initializeRow(cfg.bank, aggr_a, invert(cfg.pattern));
+    host.initializeRow(cfg.bank, aggr_b, invert(cfg.pattern));
+
+    // Step 2: first half of the hammering. hammerPair performs two
+    // activations per iteration, so hc/4 iterations make hc/2
+    // activations.
+    host.hammerPair(cfg.bank, aggr_a, aggr_b, hc / 4);
+
+    // Step 3: HiRA refresh of the victim, or an equivalent idle wait.
+    if (with_hira) {
+        host.hiraOp(cfg.bank, dummy_row, victim, cfg.t1, cfg.t2);
+    } else {
+        host.wait(cfg.t1 + cfg.t2 + SoftMCHost::kRasNs +
+                  SoftMCHost::kRpNs);
+    }
+
+    // Step 4: second half of the hammering.
+    host.hammerPair(cfg.bank, aggr_a, aggr_b, hc / 4);
+
+    // Step 5: check the victim for bit flips.
+    return !host.compareRow(cfg.bank, victim, cfg.pattern);
+}
+
+std::uint64_t
+measureThreshold(SoftMCHost &host, const RhConfig &cfg, RowId victim,
+                 RowId dummy_row, bool with_hira)
+{
+    std::uint64_t lo = cfg.hcLow;
+    std::uint64_t hi = cfg.hcHigh;
+    // Establish the bracket: no flip at lo, flip at hi. If even hi does
+    // not flip, report hi (censored, like a real measurement campaign).
+    if (rhTestOnce(host, cfg, victim, dummy_row, lo, with_hira))
+        return lo;
+    if (!rhTestOnce(host, cfg, victim, dummy_row, hi, with_hira))
+        return hi;
+    while (hi - lo > cfg.hcTolerance) {
+        std::uint64_t mid = lo + (hi - lo) / 2;
+        if (rhTestOnce(host, cfg, victim, dummy_row, mid, with_hira))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+std::vector<RowId>
+victimRows(const ChipConfig &cfg, std::uint32_t count)
+{
+    std::vector<RowId> rows = spreadRows(cfg, count);
+    for (RowId &r : rows) {
+        if (r == 0)
+            r = 1;
+        if (r + 1 >= cfg.rowsPerBank)
+            r = cfg.rowsPerBank - 2;
+    }
+    return rows;
+}
+
+NormalizedNrhResult
+measureNormalizedNrh(DramChip &chip, BankId bank,
+                     const std::vector<RowId> &victims, const RhConfig &cfg)
+{
+    NormalizedNrhResult result;
+    SoftMCHost host(chip);
+    RhConfig run_cfg = cfg;
+    run_cfg.bank = bank;
+    for (RowId victim : victims) {
+        RowId dummy = findHiraPartner(host, bank, victim, run_cfg.t1,
+                                      run_cfg.t2);
+        if (dummy == kNoRow) {
+            // Still exercise the sequence with an arbitrary far row, as a
+            // real campaign would (the chip may simply ignore it).
+            dummy = (victim + chip.config().rowsPerBank / 2) %
+                    chip.config().rowsPerBank;
+        }
+        std::uint64_t without =
+            measureThreshold(host, run_cfg, victim, dummy, false);
+        std::uint64_t with =
+            measureThreshold(host, run_cfg, victim, dummy, true);
+        result.absoluteWithout.add(static_cast<double>(without));
+        result.absoluteWith.add(static_cast<double>(with));
+        result.normalized.add(static_cast<double>(with) /
+                              static_cast<double>(without));
+    }
+    return result;
+}
+
+} // namespace hira

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * RowHammer-threshold verification of HiRA's second row activation
+ * (Algorithm 2, Sections 4.3 and 4.4.2).
+ *
+ * A victim row is double-sided hammered; halfway through, either a HiRA
+ * operation whose *second* ACT targets the victim is performed (with
+ * HiRA) or the equivalent time passes idle (without HiRA). If the chip
+ * really performs the second activation, the victim is refreshed and its
+ * measured RowHammer threshold rises (by ~1.9x in the paper).
+ */
+
+#ifndef HIRA_CHARACTERIZE_ROWHAMMER_HH
+#define HIRA_CHARACTERIZE_ROWHAMMER_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "softmc/host.hh"
+
+namespace hira {
+
+/** Parameters of one RowHammer verification run. */
+struct RhConfig
+{
+    double t1 = 3.0;
+    double t2 = 3.0;
+    BankId bank = 0;
+    DataPattern pattern = DataPattern::Checker;
+    std::uint64_t hcLow = 4096;     //!< binary-search lower bound
+    std::uint64_t hcHigh = 262144;  //!< binary-search upper bound
+    std::uint64_t hcTolerance = 512; //!< search resolution
+};
+
+/**
+ * Algorithm 2 body at a fixed hammer count.
+ * @param hc total aggressor activations across both phases
+ * @param with_hira insert the HiRA refresh between the two phases
+ * @param dummy_row HiRA's first-ACT target (ignored without HiRA)
+ * @return true iff the victim row shows at least one bit flip
+ */
+bool rhTestOnce(SoftMCHost &host, const RhConfig &cfg, RowId victim,
+                RowId dummy_row, std::uint64_t hc, bool with_hira);
+
+/**
+ * Measured RowHammer threshold of @p victim via binary search (as in
+ * [79, 129, 180]): the smallest tested hammer count that flips a bit.
+ */
+std::uint64_t measureThreshold(SoftMCHost &host, const RhConfig &cfg,
+                               RowId victim, RowId dummy_row,
+                               bool with_hira);
+
+/** Distributions produced by the §4.3 experiment over many rows. */
+struct NormalizedNrhResult
+{
+    SampleSet absoluteWithout; //!< thresholds without HiRA (Fig. 5a)
+    SampleSet absoluteWith;    //!< thresholds with HiRA (Fig. 5a)
+    SampleSet normalized;      //!< with / without per row (Fig. 5b)
+};
+
+/**
+ * Run the full §4.3 experiment on the given victim rows of one bank.
+ * Victims whose HiRA partner search fails fall back to a fixed dummy,
+ * exactly as a real test would still issue the (possibly ignored)
+ * sequence.
+ */
+NormalizedNrhResult measureNormalizedNrh(DramChip &chip, BankId bank,
+                                         const std::vector<RowId> &victims,
+                                         const RhConfig &cfg = {});
+
+/** Victim rows for NRH tests: like spreadRows but away from bank edges. */
+std::vector<RowId> victimRows(const ChipConfig &cfg, std::uint32_t count);
+
+} // namespace hira
+
+#endif // HIRA_CHARACTERIZE_ROWHAMMER_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Configuration of the behavioral DRAM chip model.
+ *
+ * The model is phenomenological: it encodes the behaviors the paper
+ * *observes* through the DRAM command interface (Section 4), not the
+ * manufacturers' proprietary circuits (which Section 12 notes are not
+ * public). Every distribution is sampled deterministically from the chip
+ * seed via stateless hashes, so identical chips behave identically.
+ */
+
+#ifndef HIRA_CHIP_CONFIG_HH
+#define HIRA_CHIP_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace hira {
+
+/**
+ * Process/design variation parameters. Gaussian values are clamped to
+ * mean +/- 2 sigma unless explicit bounds are given (real distributions
+ * are bounded; unbounded tails would create physically absurd rows).
+ */
+struct VariationParams
+{
+    // Row-A side of the HiRA window (Section 4.2 hypotheses):
+    // sense amps must be enabled before the PRE arrives...
+    double saEnableMean = 2.2, saEnableSigma = 0.35;   //!< ns, t1 lower bound
+    // ...and the PRE must arrive before the local row buffer connects to
+    // the bank I/O.
+    double ioConnectMean = 5.4, ioConnectSigma = 0.35; //!< ns, t1 upper bound
+
+    // Row-B side: the second ACT must wait for the bitline equalization
+    // head start but still interrupt the precharge.
+    double bLowMean = 0.9, bLowSigma = 0.45;           //!< ns, t2 lower bound
+    double bHighMean = 6.4, bHighSigma = 0.5;          //!< ns, t2 upper bound
+
+    // Charge restoration.
+    double restoreMean = 28.0, restoreSigma = 1.5;     //!< ns to full restore
+
+    // Refresh restoration efficacy against accumulated RowHammer
+    // disturbance (drives the ~1.9x normalized threshold of Section 4.3).
+    double etaMean = 0.94, etaSigma = 0.05;
+    double etaLo = 0.75, etaHi = 1.0;
+    double etaBankSpread = 0.04;   //!< per-bank bias (Fig. 6 variation)
+
+    // RowHammer thresholds (Fig. 5a: 10K-80K, mean 27.2K).
+    double nrhMean = 27200.0;
+    double nrhLogSigma = 0.30;     //!< lognormal shape across rows
+    double nrhTrialSigma = 0.06;   //!< per-charge-session measurement noise
+
+    // Retention (Section 4.1 keeps tests under 10 ms to avoid these).
+    double retentionMinMs = 80.0;
+    double retentionLogSigma = 1.0;
+};
+
+/** Full configuration of one chip (or lock-stepped module of chips). */
+struct ChipConfig
+{
+    std::string name = "generic";
+    std::uint64_t seed = 0x51c7;
+
+    std::uint32_t banks = 16;
+    std::uint32_t rowsPerBank = 4096;
+    std::uint32_t subarraysPerBank = 128;
+    std::uint32_t rowBytes = 1024; //!< per-chip row (8 KB rank row / x8)
+
+    /**
+     * True for chips that honor HiRA's timing-violating sequence
+     * (SK-Hynix-like); false for chips that ignore the violating PRE /
+     * second ACT (Micron/Samsung-like, Section 12).
+     */
+    bool honorsHira = true;
+
+    /**
+     * Design-level electrical isolation between subarray pairs: target
+     * mean fraction of isolated pairs and the per-subarray spread of
+     * that target (drives Table 4's per-module coverage statistics).
+     */
+    double pairIsolationMean = 0.33;
+    double pairIsolationSpread = 0.05;
+
+    VariationParams var;
+
+    std::uint32_t
+    rowsPerSubarray() const
+    {
+        return rowsPerBank / subarraysPerBank;
+    }
+
+    SubarrayId
+    subarrayOf(RowId row) const
+    {
+        return row / rowsPerSubarray();
+    }
+};
+
+} // namespace hira
+
+#endif // HIRA_CHIP_CONFIG_HH

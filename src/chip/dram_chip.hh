@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Behavioral circuit-level DRAM chip model.
+ *
+ * Substitute for the paper's real-chip testbed (56 DDR4 chips behind
+ * SoftMC, Section 4.1). The chip is observed exclusively through timed
+ * ACT / PRE commands plus open-row data access, exactly like the real
+ * infrastructure, and encodes the paper's observed phenomenology:
+ *
+ *  - HiRA (ACT - t1 - PRE - t2 - ACT) succeeds iff the two rows are in
+ *    electrically isolated subarrays and the per-row t1 / t2 operating
+ *    windows are met (Section 4.2's four operating conditions);
+ *  - chips that do not support HiRA ignore the grossly violating PRE /
+ *    second ACT (Section 12's hypothesis for Micron / Samsung);
+ *  - activations disturb physically adjacent rows (RowHammer) with
+ *    per-row thresholds, and a completed charge restoration removes the
+ *    accumulated disturbance with per-row efficacy (Section 4.3);
+ *  - rows lose data if their charge restoration is interrupted, and
+ *    retain data only for their retention time without refresh.
+ */
+
+#ifndef HIRA_CHIP_DRAM_CHIP_HH
+#define HIRA_CHIP_DRAM_CHIP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chip/config.hh"
+#include "chip/design.hh"
+#include "chip/variation.hh"
+
+namespace hira {
+
+/** The four test data patterns of Section 4.1. */
+enum class DataPattern : std::uint8_t
+{
+    Ones = 0xFF,
+    Zeros = 0x00,
+    Checker = 0xAA,
+    InvChecker = 0x55,
+};
+
+/** The inverse pattern (Algorithm 1 initializes RowB with !datapattern). */
+inline DataPattern
+invert(DataPattern p)
+{
+    return static_cast<DataPattern>(~static_cast<std::uint8_t>(p));
+}
+
+/** All four patterns, iteration order of Algorithm 1. */
+extern const DataPattern kAllPatterns[4];
+
+/** Operation counters exposed for tests and harness reporting. */
+struct ChipStats
+{
+    std::uint64_t acts = 0;
+    std::uint64_t pres = 0;
+    std::uint64_t ignoredPre = 0;   //!< vendor ignored a violating PRE
+    std::uint64_t ignoredAct = 0;   //!< ACT to an open bank ignored
+    std::uint64_t hiraAttempts = 0;
+    std::uint64_t hiraSuccess = 0;
+    std::uint64_t hiraNotIsolated = 0;
+    std::uint64_t hiraBadT1 = 0;
+    std::uint64_t hiraBadT2 = 0;
+    std::uint64_t interruptedRestores = 0;
+};
+
+/** One bank's command-visible state. */
+class DramChip
+{
+  public:
+    explicit DramChip(const ChipConfig &cfg);
+
+    // ----- command interface (times in absolute ns) -------------------
+
+    /** Row activation. */
+    void act(BankId bank, RowId row, NanoSec t);
+
+    /** Bank precharge. */
+    void pre(BankId bank, NanoSec t);
+
+    /**
+     * Bulk double-sided hammering: @p n iterations of
+     * ACT(a) tRAS PRE tRP ACT(b) tRAS PRE tRP with nominal timing.
+     * Semantically identical to the explicit loop; O(1).
+     * @return the time after the last iteration.
+     */
+    NanoSec hammerPair(BankId bank, RowId aggr_a, RowId aggr_b,
+                       std::uint64_t n, NanoSec t);
+
+    // ----- data access on the open row ---------------------------------
+
+    /** Write the pattern into the open row (fully restores its cells). */
+    void writeOpenRow(BankId bank, DataPattern p, NanoSec t);
+
+    /**
+     * Compare the open row against the expected pattern.
+     * @return true iff no bit flip is present.
+     */
+    bool openRowMatches(BankId bank, DataPattern expected, NanoSec t);
+
+    /** Materialize the open row's bytes (pattern with flips applied). */
+    std::vector<std::uint8_t> readOpenRow(BankId bank, NanoSec t);
+
+    // ----- inspection ---------------------------------------------------
+
+    RowId openRow(BankId bank) const;
+    const ChipConfig &config() const { return cfg; }
+    const IsolationMap &isolation() const { return iso; }
+    const Variation &variation() const { return var; }
+    const ChipStats &stats() const { return stats_; }
+
+    /** Accumulated RowHammer disturbance of a row (test hook). */
+    double damageOf(BankId bank, RowId row) const;
+
+    /** Latest event time the chip has seen (ns); hosts resume from it. */
+    NanoSec currentTime() const { return latestTime; }
+
+  private:
+    enum class Phase
+    {
+        Precharged,
+        Active,
+        Precharging, //!< PRE received, wordline fate not yet decided
+    };
+
+    struct RowState
+    {
+        std::uint8_t basePattern = 0;
+        bool initialized = false;
+        bool corrupted = false;
+        double damage = 0.0;
+        std::uint64_t session = 0;
+        NanoSec lastRestore = 0.0;
+    };
+
+    struct PendingRestore
+    {
+        RowId row;
+        NanoSec done;
+    };
+
+    struct Bank
+    {
+        Phase phase = Phase::Precharged;
+        RowId row = kNoRow;
+        NanoSec actTime = 0.0;
+        NanoSec preTime = 0.0;
+        NanoSec lastEvent = 0.0;
+        std::vector<PendingRestore> pending;
+    };
+
+    RowState &rowState(BankId bank, RowId row);
+    const RowState *rowStateIfAny(BankId bank, RowId row) const;
+
+    /** Apply the aggressor effect of activating @p row. */
+    void disturbNeighbors(BankId bank, RowId row, double amount);
+
+    /** Complete a full charge restoration of @p row at time @p t. */
+    void restoreRow(BankId bank, RowId row, NanoSec t);
+
+    /** Mark a row's data as destroyed. */
+    void corruptRow(BankId bank, RowId row);
+
+    /** Decide the fate of a Precharging bank whose PRE ran to term. */
+    void finalizePrecharge(Bank &b, BankId bank);
+
+    /** Settle the pending background restores at a closing PRE. */
+    void settlePending(Bank &b, BankId bank, NanoSec t);
+
+    /** True iff the row currently shows at least one bit flip. */
+    bool hasFlips(BankId bank, RowId row, const RowState &rs,
+                  NanoSec t) const;
+
+    ChipConfig cfg;
+    IsolationMap iso;
+    Variation var;
+    std::vector<Bank> banks;
+    std::unordered_map<std::uint64_t, RowState> rows;
+    ChipStats stats_;
+    NanoSec latestTime = 0.0;
+
+    // Behavioral window constants (ns). A PRE interrupted within
+    // kHiraInterruptNs keeps the previous wordline up; a precharge is
+    // electrically complete after kPrechargeDoneNs; non-supporting
+    // vendors ignore a PRE arriving earlier than kIgnoreRasBelowNs after
+    // the ACT (Section 12's hypothesis).
+    static constexpr double kHiraInterruptNs = 7.0;
+    static constexpr double kPrechargeDoneNs = 13.0;
+    static constexpr double kIgnoreRasBelowNs = 20.0;
+    static constexpr double kRcdNs = 14.25;
+    static constexpr double kRasNs = 32.0;
+    static constexpr double kRpNs = 14.25;
+    static constexpr double kRcNs = 46.25;
+};
+
+} // namespace hira
+
+#endif // HIRA_CHIP_DRAM_CHIP_HH

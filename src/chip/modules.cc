@@ -1,0 +1,96 @@
+#include "chip/modules.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hira {
+
+namespace {
+
+struct Entry
+{
+    const char *label;
+    const char *vendor;
+    double capacityGb;
+    const char *dieRev;
+    PaperModuleNumbers paper;
+    double isoSpread; //!< per-subarray isolation spread calibration
+};
+
+// Table 4 of the paper (coverage and normalized-NRH min/avg/max).
+const Entry kEntries[] = {
+    {"A0", "G.SKILL", 4.0, "B",
+     {0.248, 0.250, 0.255, 1.75, 1.90, 2.52}, 0.010},
+    {"A1", "G.SKILL", 4.0, "B",
+     {0.249, 0.266, 0.283, 1.72, 1.94, 2.55}, 0.015},
+    {"B0", "Kingston", 8.0, "D",
+     {0.251, 0.326, 0.368, 1.71, 1.89, 2.34}, 0.040},
+    {"B1", "Kingston", 8.0, "D",
+     {0.250, 0.316, 0.349, 1.74, 1.91, 2.51}, 0.035},
+    {"C0", "SK Hynix", 4.0, "F",
+     {0.253, 0.353, 0.395, 1.47, 1.89, 2.23}, 0.045},
+    {"C1", "SK Hynix", 4.0, "F",
+     {0.292, 0.384, 0.499, 1.09, 1.88, 2.27}, 0.065},
+    {"C2", "SK Hynix", 4.0, "F",
+     {0.265, 0.361, 0.423, 1.49, 1.96, 2.58}, 0.050},
+};
+
+ChipConfig
+baseConfig(const char *label, std::uint32_t rows, std::uint32_t banks)
+{
+    ChipConfig cfg;
+    cfg.name = label;
+    cfg.seed = hashString(label);
+    cfg.banks = banks;
+    cfg.rowsPerBank = rows;
+    cfg.subarraysPerBank = rows >= 128 ? 128 : rows / 2;
+    hira_assert(rows % cfg.subarraysPerBank == 0);
+    return cfg;
+}
+
+} // namespace
+
+std::vector<ModuleInfo>
+hiraModules(std::uint32_t rows_per_bank, std::uint32_t banks)
+{
+    std::vector<ModuleInfo> out;
+    for (const Entry &e : kEntries) {
+        ModuleInfo m;
+        m.label = e.label;
+        m.vendor = e.vendor;
+        m.chipCapacityGb = e.capacityGb;
+        m.dieRev = e.dieRev;
+        m.paper = e.paper;
+        m.config = baseConfig(e.label, rows_per_bank, banks);
+        m.config.honorsHira = true;
+        m.config.pairIsolationMean = e.paper.covAvg;
+        m.config.pairIsolationSpread = e.isoSpread;
+        // Restoration efficacy calibrated so 2 / (2 - eta) matches the
+        // module's mean normalized NRH.
+        m.config.var.etaMean = 2.0 - 2.0 / e.paper.nrhAvg;
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+ModuleInfo
+moduleByLabel(const std::string &label, std::uint32_t rows_per_bank,
+              std::uint32_t banks)
+{
+    for (ModuleInfo &m : hiraModules(rows_per_bank, banks)) {
+        if (m.label == label)
+            return m;
+    }
+    fatal("unknown DRAM module label '%s'", label.c_str());
+}
+
+ChipConfig
+nonHiraVendorConfig(const std::string &label, std::uint32_t rows_per_bank,
+                    std::uint32_t banks)
+{
+    ChipConfig cfg = baseConfig(label.c_str(), rows_per_bank, banks);
+    cfg.honorsHira = false;
+    return cfg;
+}
+
+} // namespace hira

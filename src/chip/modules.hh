@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Catalog of the DDR4 modules the paper tests (Tables 1 and 4), plus
+ * non-HiRA-supporting vendor stand-ins (Section 12).
+ *
+ * Each entry carries the chip-model calibration (isolation density,
+ * spread) targeting the module's measured HiRA coverage, and the paper's
+ * published numbers so harnesses can print paper-vs-measured columns.
+ */
+
+#ifndef HIRA_CHIP_MODULES_HH
+#define HIRA_CHIP_MODULES_HH
+
+#include <string>
+#include <vector>
+
+#include "chip/config.hh"
+
+namespace hira {
+
+/** Published Table 4 numbers for one module. */
+struct PaperModuleNumbers
+{
+    double covMin, covAvg, covMax;    //!< HiRA coverage, fraction
+    double nrhMin, nrhAvg, nrhMax;    //!< normalized RowHammer threshold
+};
+
+/** One cataloged module: chip config + paper reference values. */
+struct ModuleInfo
+{
+    std::string label;      //!< A0, A1, B0, B1, C0, C1, C2
+    std::string vendor;     //!< DIMM vendor (chips are SK Hynix)
+    double chipCapacityGb;
+    std::string dieRev;
+    PaperModuleNumbers paper;
+    ChipConfig config;      //!< calibrated chip-model configuration
+};
+
+/**
+ * The seven HiRA-supporting modules of Table 1 / Table 4.
+ * @param rows_per_bank chip-model rows per bank (characterization scale;
+ *        the paper tests 6K of 64K rows; tests/benches default smaller)
+ * @param banks banks per chip
+ */
+std::vector<ModuleInfo> hiraModules(std::uint32_t rows_per_bank = 1024,
+                                    std::uint32_t banks = 16);
+
+/** Look up one module by label ("C0" etc.). */
+ModuleInfo moduleByLabel(const std::string &label,
+                         std::uint32_t rows_per_bank = 1024,
+                         std::uint32_t banks = 16);
+
+/**
+ * A module whose chips ignore HiRA's violating command sequence
+ * (Micron/Samsung-like behavior, Section 12).
+ */
+ChipConfig nonHiraVendorConfig(const std::string &label,
+                               std::uint32_t rows_per_bank = 1024,
+                               std::uint32_t banks = 16);
+
+} // namespace hira
+
+#endif // HIRA_CHIP_MODULES_HH

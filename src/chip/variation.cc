@@ -1,0 +1,111 @@
+#include "chip/variation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace hira {
+
+namespace {
+
+// Hash-domain tags so each physical quantity draws from its own stream.
+enum : std::uint64_t
+{
+    kTagSaEnable = 1,
+    kTagIoConnect = 2,
+    kTagBLow = 3,
+    kTagBHigh = 4,
+    kTagRestore = 5,
+    kTagEta = 6,
+    kTagEtaBank = 7,
+    kTagNrh = 8,
+    kTagNrhTrial = 9,
+    kTagRetention = 10,
+};
+
+} // namespace
+
+double
+Variation::clamped(double mean, double sigma, std::uint64_t tag,
+                   std::uint64_t a, std::uint64_t b, std::uint64_t c) const
+{
+    double g = hashGaussian(hashCombine(cfg.seed, tag), a, b, c);
+    g = std::clamp(g, -2.0, 2.0);
+    return mean + sigma * g;
+}
+
+double
+Variation::saEnable(RowId row) const
+{
+    return clamped(cfg.var.saEnableMean, cfg.var.saEnableSigma, kTagSaEnable,
+                   row);
+}
+
+double
+Variation::ioConnect(RowId row) const
+{
+    return clamped(cfg.var.ioConnectMean, cfg.var.ioConnectSigma,
+                   kTagIoConnect, row);
+}
+
+double
+Variation::bLow(RowId row) const
+{
+    double v = clamped(cfg.var.bLowMean, cfg.var.bLowSigma, kTagBLow, row);
+    return std::max(v, 0.0);
+}
+
+double
+Variation::bHigh(RowId row) const
+{
+    return clamped(cfg.var.bHighMean, cfg.var.bHighSigma, kTagBHigh, row);
+}
+
+double
+Variation::restoreTime(RowId row) const
+{
+    return clamped(cfg.var.restoreMean, cfg.var.restoreSigma, kTagRestore,
+                   row);
+}
+
+double
+Variation::eta(BankId bank, RowId row) const
+{
+    double bank_bias =
+        cfg.var.etaBankSpread *
+        (2.0 * hashUniform(hashCombine(cfg.seed, kTagEtaBank), bank) - 1.0);
+    double e = clamped(cfg.var.etaMean + bank_bias, cfg.var.etaSigma,
+                       kTagEta, bank, row);
+    return std::clamp(e, cfg.var.etaLo, cfg.var.etaHi);
+}
+
+double
+Variation::nrhBase(RowId row) const
+{
+    double g = hashGaussian(hashCombine(cfg.seed, kTagNrh), row);
+    g = std::clamp(g, -2.5, 2.5);
+    return cfg.var.nrhMean * std::exp(cfg.var.nrhLogSigma * g);
+}
+
+double
+Variation::nrhEffective(BankId bank, RowId row, std::uint64_t session) const
+{
+    double jitter = hashGaussian(hashCombine(cfg.seed, kTagNrhTrial), bank,
+                                 row, session);
+    jitter = std::clamp(jitter, -2.5, 2.5);
+    return nrhBase(row) * (1.0 + cfg.var.nrhTrialSigma * jitter);
+}
+
+double
+Variation::retentionMs(BankId bank, RowId row) const
+{
+    double g = hashGaussian(hashCombine(cfg.seed, kTagRetention), bank, row);
+    g = std::clamp(g, -2.5, 2.5);
+    // Lognormal above a hard floor: the weakest cells sit just above the
+    // refresh window, the bulk retains far longer (Section 2.3, [102]).
+    return cfg.var.retentionMinMs *
+           std::exp(cfg.var.retentionLogSigma * std::fabs(g));
+}
+
+} // namespace hira

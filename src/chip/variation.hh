@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic per-row / per-cell variation derived from the chip seed.
+ *
+ * All values come from stateless hashes so they are independent of
+ * evaluation order and identical across runs, and — matching the paper's
+ * Section 4.4.1 observation — identical across banks wherever the
+ * phenomenon is design-induced (timing windows, isolation), while
+ * bank-dependent only where the paper observed bank variation
+ * (restoration efficacy, Fig. 6).
+ */
+
+#ifndef HIRA_CHIP_VARIATION_HH
+#define HIRA_CHIP_VARIATION_HH
+
+#include "chip/config.hh"
+
+namespace hira {
+
+/** Per-row and per-cell variation sampler for one chip. */
+class Variation
+{
+  public:
+    explicit Variation(const ChipConfig &cfg) : cfg(cfg) {}
+
+    /** Sense-amp enable latency of the row: HiRA's t1 lower bound (ns). */
+    double saEnable(RowId row) const;
+
+    /** Row-buffer-to-bank-I/O connect latency: t1 upper bound (ns). */
+    double ioConnect(RowId row) const;
+
+    /** Second-row t2 lower bound (ns). */
+    double bLow(RowId row) const;
+
+    /** Second-row t2 upper bound (ns). */
+    double bHigh(RowId row) const;
+
+    /** Full charge-restoration latency of the row (ns). */
+    double restoreTime(RowId row) const;
+
+    /** Refresh restoration efficacy in [etaLo, etaHi]; bank-biased. */
+    double eta(BankId bank, RowId row) const;
+
+    /** Base RowHammer threshold of the row (activations). */
+    double nrhBase(RowId row) const;
+
+    /**
+     * Effective RowHammer threshold for one charge session (between two
+     * restorations); includes the per-session measurement noise.
+     */
+    double nrhEffective(BankId bank, RowId row,
+                        std::uint64_t session) const;
+
+    /** Retention time of the row's weakest cell (ms). */
+    double retentionMs(BankId bank, RowId row) const;
+
+  private:
+    /** Gaussian clamped to mean +/- 2 sigma. */
+    double clamped(double mean, double sigma, std::uint64_t tag,
+                   std::uint64_t a, std::uint64_t b = 0,
+                   std::uint64_t c = 0) const;
+
+    ChipConfig cfg;
+};
+
+} // namespace hira
+
+#endif // HIRA_CHIP_VARIATION_HH

@@ -1,0 +1,53 @@
+#include "common/knobs.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace hira {
+
+std::int64_t
+envKnob(const std::string &name, std::int64_t fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v, &end, 10);
+    if (end == v) {
+        warn("ignoring unparsable env knob %s=%s", name.c_str(), v);
+        return fallback;
+    }
+    return parsed;
+}
+
+double
+envKnobDouble(const std::string &name, double fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v) {
+        warn("ignoring unparsable env knob %s=%s", name.c_str(), v);
+        return fallback;
+    }
+    return parsed;
+}
+
+BenchKnobs
+BenchKnobs::fromEnv()
+{
+    BenchKnobs k;
+    k.mixes = static_cast<int>(envKnob("HIRA_MIXES", 6));
+    k.cycles = envKnob("HIRA_CYCLES", 150000);
+    k.warmup = envKnob("HIRA_WARMUP", 30000);
+    k.rows = static_cast<int>(envKnob("HIRA_ROWS", 256));
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    k.threads = static_cast<int>(envKnob("HIRA_THREADS", hw > 0 ? hw : 4));
+    return k;
+}
+
+} // namespace hira

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal gem5-flavored status/error reporting.
+ *
+ * panic(): an internal invariant was violated (library bug) — aborts.
+ * fatal(): the user asked for something impossible (bad config) — exits.
+ * warn()/inform(): non-fatal status messages for the user.
+ */
+
+#ifndef HIRA_COMMON_LOGGING_HH
+#define HIRA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hira {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+bool quiet();
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hira
+
+#define panic(...) ::hira::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::hira::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::hira::warnImpl(__VA_ARGS__)
+#define inform(...) ::hira::informImpl(__VA_ARGS__)
+
+/** Invariant check that survives NDEBUG builds. */
+#define hira_assert(cond, ...)                                                \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::hira::panicImpl(__FILE__, __LINE__,                             \
+                              "assertion failed: %s", #cond);                 \
+        }                                                                     \
+    } while (0)
+
+#endif // HIRA_COMMON_LOGGING_HH

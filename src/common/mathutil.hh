@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Numerics helpers for the PARA security analysis (log-space summation of
+ * astronomically small probabilities) and general utilities.
+ */
+
+#ifndef HIRA_COMMON_MATHUTIL_HH
+#define HIRA_COMMON_MATHUTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace hira {
+
+/** log(exp(a) + exp(b)) without overflow/underflow. */
+inline double
+logAddExp(double a, double b)
+{
+    if (a == -std::numeric_limits<double>::infinity())
+        return b;
+    if (b == -std::numeric_limits<double>::infinity())
+        return a;
+    double hi = a > b ? a : b;
+    double lo = a > b ? b : a;
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+/**
+ * log of the geometric series sum_{i=0}^{n} r^i given log(r) < 0.
+ * Uses the closed form log((1 - r^{n+1}) / (1 - r)).
+ */
+inline double
+logGeometricSum(double log_r, std::uint64_t n)
+{
+    // r^{n+1} in log space.
+    double log_rn1 = log_r * static_cast<double>(n + 1);
+    // log(1 - r^{n+1}): expm1-free since r^{n+1} may underflow to 0 anyway.
+    double log_num = std::log1p(-std::exp(log_rn1));
+    double log_den = std::log1p(-std::exp(log_r));
+    return log_num - log_den;
+}
+
+/** Integer ceil division for unsigned types. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    return (num + den - 1) / den;
+}
+
+/** True if |a - b| <= tol * max(1, |a|, |b|). */
+inline bool
+approxEqual(double a, double b, double tol)
+{
+    double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+    return std::fabs(a - b) <= tol * scale;
+}
+
+} // namespace hira
+
+#endif // HIRA_COMMON_MATHUTIL_HH

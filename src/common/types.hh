@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the HiRA library.
+ */
+
+#ifndef HIRA_COMMON_TYPES_HH
+#define HIRA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace hira {
+
+/** Simulation time in memory-bus clock cycles (DDR4-2400: 0.8333 ns/cycle). */
+using Cycle = std::uint64_t;
+
+/** Simulation / experiment time in nanoseconds (real-valued). */
+using NanoSec = double;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** DRAM row index within a bank. */
+using RowId = std::uint32_t;
+
+/** DRAM subarray index within a bank. */
+using SubarrayId = std::uint32_t;
+
+/** Flat bank index within a rank (bank group folded in). */
+using BankId = std::uint32_t;
+
+/** A reserved value meaning "no cycle" / "never". */
+inline constexpr Cycle kNeverCycle = ~Cycle(0);
+
+/** A reserved value meaning "no row is open". */
+inline constexpr RowId kNoRow = ~RowId(0);
+
+} // namespace hira
+
+#endif // HIRA_COMMON_TYPES_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * PR-FIFO (Section 5, component 2): a small per-bank FIFO of victim
+ * rows awaiting a preventive refresh, 4 entries per bank (Section 6's
+ * worst-case sizing).
+ */
+
+#ifndef HIRA_CORE_PR_FIFO_HH
+#define HIRA_CORE_PR_FIFO_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hira {
+
+/** The per-rank set of per-bank preventive-refresh FIFOs. */
+class PrFifoSet
+{
+  public:
+    PrFifoSet(int banks, std::size_t depth = 4)
+        : fifos(static_cast<std::size_t>(banks)), depth(depth)
+    {
+    }
+
+    bool
+    full(BankId bank) const
+    {
+        return fifos[bank].size() >= depth;
+    }
+
+    bool
+    empty(BankId bank) const
+    {
+        return fifos[bank].empty();
+    }
+
+    std::size_t
+    size(BankId bank) const
+    {
+        return fifos[bank].size();
+    }
+
+    /** Enqueue a victim; false if the FIFO overflowed its capacity. */
+    bool
+    push(BankId bank, RowId victim)
+    {
+        fifos[bank].push_back(victim);
+        if (fifos[bank].size() > depth) {
+            ++overflows_;
+            return false;
+        }
+        return true;
+    }
+
+    RowId
+    front(BankId bank) const
+    {
+        hira_assert(!fifos[bank].empty());
+        return fifos[bank].front();
+    }
+
+    /** Second-oldest entry (refresh-refresh pairing), or kNoRow. */
+    RowId
+    second(BankId bank) const
+    {
+        return fifos[bank].size() >= 2 ? fifos[bank][1] : kNoRow;
+    }
+
+    void
+    pop(BankId bank)
+    {
+        hira_assert(!fifos[bank].empty());
+        fifos[bank].pop_front();
+    }
+
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    std::vector<std::deque<RowId>> fifos;
+    std::size_t depth;
+    std::uint64_t overflows_ = 0;
+};
+
+} // namespace hira
+
+#endif // HIRA_CORE_PR_FIFO_HH

@@ -1,0 +1,31 @@
+#include "core/spt.hh"
+
+#include "common/logging.hh"
+
+namespace hira {
+
+ChipConfig
+SubarrayPairsTable::designConfig(const Geometry &geom,
+                                 double isolation_mean, std::uint64_t seed)
+{
+    ChipConfig cfg;
+    cfg.name = "spt-design";
+    cfg.seed = seed;
+    cfg.banks = static_cast<std::uint32_t>(geom.banksPerRank());
+    cfg.rowsPerBank = geom.rowsPerBank;
+    cfg.subarraysPerBank = geom.subarraysPerBank;
+    cfg.pairIsolationMean = isolation_mean;
+    cfg.pairIsolationSpread = 0.03;
+    return cfg;
+}
+
+SubarrayPairsTable::SubarrayPairsTable(const Geometry &geom,
+                                       double isolation_mean,
+                                       std::uint64_t seed)
+    : iso(designConfig(geom, isolation_mean, seed)),
+      rowsPerSub(geom.rowsPerBank / geom.subarraysPerBank)
+{
+    hira_assert(rowsPerSub > 0);
+}
+
+} // namespace hira

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Subarray Pairs Table (SPT, Section 5.1.4): the controller's on-chip
+ * copy of which subarray pairs are electrically isolated, obtained by a
+ * one-time reverse-engineering pass (our Algorithm 1 coverage
+ * experiment) or from manufacturer MSRs.
+ *
+ * For the performance simulator the SPT is instantiated from the same
+ * design-level IsolationMap the chip model uses, with the paper's §7
+ * assumption as the default density: a refresh can pair with 32 % of
+ * the rows in the bank.
+ */
+
+#ifndef HIRA_CORE_SPT_HH
+#define HIRA_CORE_SPT_HH
+
+#include "chip/design.hh"
+#include "dram/geometry.hh"
+
+namespace hira {
+
+/** Sentinel for "no constraining partner subarray". */
+inline constexpr SubarrayId kAnySubarray = ~SubarrayId(0);
+
+/** The controller-side subarray isolation table. */
+class SubarrayPairsTable
+{
+  public:
+    /**
+     * @param geom system geometry (subarray count, rows per bank)
+     * @param isolation_mean fraction of isolated pairs (paper: 0.32)
+     * @param seed design seed (must match the chip for a paired system)
+     */
+    SubarrayPairsTable(const Geometry &geom, double isolation_mean = 0.32,
+                       std::uint64_t seed = 0x5b7a);
+
+    SubarrayId
+    subarrayOf(RowId row) const
+    {
+        return row / rowsPerSub;
+    }
+
+    bool
+    isolated(SubarrayId a, SubarrayId b) const
+    {
+        if (a == kAnySubarray || b == kAnySubarray)
+            return true;
+        return iso.isolated(a, b);
+    }
+
+    bool
+    rowsIsolated(RowId a, RowId b) const
+    {
+        return isolated(subarrayOf(a), subarrayOf(b));
+    }
+
+    std::uint32_t subarrays() const { return iso.subarrays(); }
+    std::uint32_t rowsPerSubarray() const { return rowsPerSub; }
+    const IsolationMap &map() const { return iso; }
+
+  private:
+    static ChipConfig designConfig(const Geometry &geom,
+                                   double isolation_mean,
+                                   std::uint64_t seed);
+
+    IsolationMap iso;
+    std::uint32_t rowsPerSub;
+};
+
+} // namespace hira
+
+#endif // HIRA_CORE_SPT_HH

@@ -1,0 +1,107 @@
+#include "dram/addrmap.hh"
+
+#include "common/logging.hh"
+
+namespace hira {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint64_t
+extract(Addr addr, int &shift, int bits)
+{
+    std::uint64_t v = (addr >> shift) & ((std::uint64_t(1) << bits) - 1);
+    shift += bits;
+    return v;
+}
+
+void
+insert(Addr &addr, int &shift, int bits, std::uint64_t v)
+{
+    addr |= (v & ((std::uint64_t(1) << bits) - 1)) << shift;
+    shift += bits;
+}
+
+} // namespace
+
+int
+AddressMapper::log2i(std::uint64_t v)
+{
+    hira_assert(isPow2(v));
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+AddressMapper::AddressMapper(const Geometry &g, std::uint32_t mop_lines)
+    : geom(g)
+{
+    hira_assert(isPow2(g.lineBytes));
+    hira_assert(isPow2(g.colsPerRow));
+    hira_assert(isPow2(mop_lines) && mop_lines <= g.colsPerRow);
+    hira_assert(isPow2(static_cast<std::uint64_t>(g.channels)));
+    hira_assert(isPow2(static_cast<std::uint64_t>(g.ranksPerChannel)));
+    hira_assert(isPow2(static_cast<std::uint64_t>(g.bankGroups)));
+    hira_assert(isPow2(static_cast<std::uint64_t>(g.banksPerGroup)));
+    hira_assert(isPow2(g.rowsPerBank));
+
+    offsetBits = log2i(g.lineBytes);
+    colLowBits = log2i(mop_lines);
+    channelBits = log2i(static_cast<std::uint64_t>(g.channels));
+    groupBits = log2i(static_cast<std::uint64_t>(g.bankGroups));
+    bankBits = log2i(static_cast<std::uint64_t>(g.banksPerGroup));
+    rankBits = log2i(static_cast<std::uint64_t>(g.ranksPerChannel));
+    colHighBits = log2i(g.colsPerRow) - colLowBits;
+    rowBits = log2i(g.rowsPerBank);
+    spaceBytes = geom.totalBytes();
+}
+
+DramAddr
+AddressMapper::decode(Addr addr) const
+{
+    addr %= spaceBytes;
+    int shift = offsetBits;
+    DramAddr da;
+    std::uint64_t col_low = extract(addr, shift, colLowBits);
+    da.channel = static_cast<int>(extract(addr, shift, channelBits));
+    std::uint64_t group = extract(addr, shift, groupBits);
+    std::uint64_t bank_in_group = extract(addr, shift, bankBits);
+    da.rank = static_cast<int>(extract(addr, shift, rankBits));
+    std::uint64_t col_high = extract(addr, shift, colHighBits);
+    da.row = static_cast<RowId>(extract(addr, shift, rowBits));
+    da.bank = static_cast<BankId>(group * geom.banksPerGroup + bank_in_group);
+    da.col = static_cast<std::uint32_t>((col_high << colLowBits) | col_low);
+    return da;
+}
+
+Addr
+AddressMapper::encode(const DramAddr &da) const
+{
+    Addr addr = 0;
+    int shift = offsetBits;
+    std::uint64_t col_low = da.col & ((1u << colLowBits) - 1);
+    std::uint64_t col_high = da.col >> colLowBits;
+    std::uint64_t group =
+        da.bank / static_cast<std::uint32_t>(geom.banksPerGroup);
+    std::uint64_t bank_in_group =
+        da.bank % static_cast<std::uint32_t>(geom.banksPerGroup);
+    insert(addr, shift, colLowBits, col_low);
+    insert(addr, shift, channelBits,
+           static_cast<std::uint64_t>(da.channel));
+    insert(addr, shift, groupBits, group);
+    insert(addr, shift, bankBits, bank_in_group);
+    insert(addr, shift, rankBits, static_cast<std::uint64_t>(da.rank));
+    insert(addr, shift, colHighBits, col_high);
+    insert(addr, shift, rowBits, da.row);
+    return addr;
+}
+
+} // namespace hira

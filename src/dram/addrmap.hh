@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * Implements the MOP (Minimalist Open-Page) style mapping the paper's
+ * Table 3 cites [68]: a small block of consecutive cache lines stays in
+ * one row (preserving row-buffer locality for spatial streams), and
+ * successive blocks interleave across channels, bank groups, banks, and
+ * ranks (exposing memory-level parallelism). Field order, LSB first:
+ *
+ *   line offset | colLow (MOP block) | channel | bankGroup | bank | rank
+ *   | colHigh | row
+ */
+
+#ifndef HIRA_DRAM_ADDRMAP_HH
+#define HIRA_DRAM_ADDRMAP_HH
+
+#include "common/types.hh"
+#include "dram/geometry.hh"
+
+namespace hira {
+
+/** Decoded DRAM coordinates of a physical address. */
+struct DramAddr
+{
+    int channel = 0;
+    int rank = 0;
+    BankId bank = 0;   //!< flat bank id in the rank (group folded in)
+    RowId row = 0;
+    std::uint32_t col = 0;
+
+    bool
+    operator==(const DramAddr &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank &&
+               row == o.row && col == o.col;
+    }
+};
+
+/** MOP address mapper for a fixed geometry. */
+class AddressMapper
+{
+  public:
+    /**
+     * @param geom system geometry (all field widths must be powers of two)
+     * @param mop_lines cache lines per MOP block (4 in [68])
+     */
+    explicit AddressMapper(const Geometry &geom, std::uint32_t mop_lines = 4);
+
+    /** Decode a physical byte address. */
+    DramAddr decode(Addr addr) const;
+
+    /** Re-encode coordinates into the canonical physical address. */
+    Addr encode(const DramAddr &da) const;
+
+    /** Size of the mapped physical address space in bytes. */
+    Addr addressSpaceBytes() const { return spaceBytes; }
+
+    const Geometry &geometry() const { return geom; }
+
+  private:
+    static int log2i(std::uint64_t v);
+
+    Geometry geom;
+    int offsetBits;
+    int colLowBits;
+    int channelBits;
+    int groupBits;
+    int bankBits;   //!< bank-within-group
+    int rankBits;
+    int colHighBits;
+    int rowBits;
+    Addr spaceBytes;
+};
+
+} // namespace hira
+
+#endif // HIRA_DRAM_ADDRMAP_HH

@@ -1,0 +1,287 @@
+#include "dram/timing_checker.hh"
+
+#include <deque>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hira {
+
+TimingChecker::TimingChecker(const Geometry &g, const TimingParams &tp)
+    : geom(g), tc(tp)
+{
+}
+
+namespace {
+
+/** Per-bank audit state. */
+struct BankAudit
+{
+    bool open = false;
+    RowId row = kNoRow;
+    Cycle lastAct = kNeverCycle;
+    HiraRole lastActRole = HiraRole::None;
+    Cycle lastPre = kNeverCycle;
+    HiraRole lastPreRole = HiraRole::None;
+    Cycle lastRd = kNeverCycle;
+    Cycle lastWr = kNeverCycle;
+};
+
+/** Per-rank audit state. */
+struct RankAudit
+{
+    std::deque<Cycle> acts;      //!< all ACT cycles (for tFAW)
+    Cycle lastActCycle = kNeverCycle;
+    int lastActGroup = -1;
+    BankId lastActBank = 0;
+    HiraRole lastActRole = HiraRole::None;
+    Cycle lastRd = kNeverCycle;
+    int lastRdGroup = -1;
+    Cycle lastWr = kNeverCycle;
+    int lastWrGroup = -1;
+    Cycle refUntil = 0;          //!< rank blocked through this cycle
+};
+
+struct Auditor
+{
+    const Geometry &geom;
+    const TimingCycles &tc;
+    std::vector<Violation> &out;
+    std::vector<BankAudit> banks;
+    std::vector<RankAudit> ranks;
+
+    Auditor(const Geometry &g, const TimingCycles &t,
+            std::vector<Violation> &o)
+        : geom(g), tc(t), out(o)
+    {
+        banks.resize(static_cast<std::size_t>(g.ranksPerChannel) *
+                     static_cast<std::size_t>(g.banksPerRank()));
+        ranks.resize(static_cast<std::size_t>(g.ranksPerChannel));
+    }
+
+    BankAudit &
+    bank(const Command &c)
+    {
+        return banks[static_cast<std::size_t>(c.rank) *
+                         static_cast<std::size_t>(geom.banksPerRank()) +
+                     c.bank];
+    }
+
+    void
+    violation(std::size_t idx, const std::string &msg)
+    {
+        out.push_back({idx, msg});
+    }
+
+    void
+    require(bool ok, std::size_t idx, const Command &c, const char *what)
+    {
+        if (!ok) {
+            violation(idx, strprintf("%s @%llu rank%d bank%u: %s",
+                                     commandName(c.type),
+                                     (unsigned long long)c.cycle, c.rank,
+                                     c.bank, what));
+        }
+    }
+
+    static bool
+    elapsed(Cycle from, Cycle now, Cycle min_gap)
+    {
+        return from == kNeverCycle || now >= from + min_gap;
+    }
+
+    void
+    checkActLike(std::size_t i, const Command &c, bool is_hira_second)
+    {
+        BankAudit &b = bank(c);
+        RankAudit &r = ranks[static_cast<std::size_t>(c.rank)];
+        int group = geom.bankGroupOf(c.bank);
+
+        require(!b.open, i, c, "ACT to a bank with an open row");
+        require(c.cycle >= r.refUntil, i, c, "ACT during tRFC window");
+
+        if (is_hira_second) {
+            // Second HiRA ACT: must follow the CutPre by exactly t2 and
+            // the first ACT by exactly t1 + t2; tRC / tRP are exempt.
+            require(b.lastPreRole == HiraRole::CutPre, i, c,
+                    "HiRA second ACT without a preceding CutPre");
+            require(b.lastPre != kNeverCycle &&
+                        c.cycle == b.lastPre + tc.c2,
+                    i, c, "HiRA second ACT not exactly t2 after PRE");
+            require(b.lastAct != kNeverCycle &&
+                        c.cycle == b.lastAct + tc.c1 + tc.c2,
+                    i, c, "HiRA second ACT not exactly t1+t2 after ACT");
+        } else {
+            require(elapsed(b.lastAct, c.cycle, tc.rc), i, c,
+                    "tRC violated (ACT-to-ACT same bank)");
+            require(elapsed(b.lastPre, c.cycle, tc.rp), i, c,
+                    "tRP violated (PRE-to-ACT)");
+        }
+
+        // Rank-level ACT spacing. The HiRA pair targets the same bank, so
+        // tRRD (a different-bank constraint) does not bind between them.
+        if (r.lastActCycle != kNeverCycle &&
+            !(is_hira_second && r.lastActBank == c.bank &&
+              r.lastActRole == HiraRole::FirstAct)) {
+            Cycle gap = group == r.lastActGroup ? tc.rrdL : tc.rrdS;
+            if (r.lastActBank != c.bank) {
+                require(c.cycle >= r.lastActCycle + gap, i, c,
+                        "tRRD violated");
+            }
+        }
+
+        // tFAW: this ACT and the one four-back must span >= tFAW.
+        if (r.acts.size() >= 4) {
+            Cycle fourth_back = r.acts[r.acts.size() - 4];
+            require(c.cycle >= fourth_back + tc.faw, i, c, "tFAW violated");
+        }
+
+        b.open = true;
+        b.row = c.row;
+        b.lastAct = c.cycle;
+        b.lastActRole = c.hiraRole;
+        r.acts.push_back(c.cycle);
+        if (r.acts.size() > 8)
+            r.acts.pop_front();
+        r.lastActCycle = c.cycle;
+        r.lastActGroup = group;
+        r.lastActBank = c.bank;
+        r.lastActRole = c.hiraRole;
+    }
+
+    void
+    checkPre(std::size_t i, const Command &c)
+    {
+        BankAudit &b = bank(c);
+        RankAudit &r = ranks[static_cast<std::size_t>(c.rank)];
+        require(c.cycle >= r.refUntil, i, c, "PRE during tRFC window");
+        if (c.hiraRole == HiraRole::CutPre) {
+            require(b.lastActRole == HiraRole::FirstAct, i, c,
+                    "CutPre without a preceding HiRA first ACT");
+            require(b.lastAct != kNeverCycle &&
+                        c.cycle == b.lastAct + tc.c1,
+                    i, c, "CutPre not exactly t1 after the first ACT");
+        } else {
+            require(elapsed(b.lastAct, c.cycle, tc.ras), i, c,
+                    "tRAS violated (ACT-to-PRE)");
+            require(elapsed(b.lastRd, c.cycle, tc.rtp), i, c,
+                    "tRTP violated (RD-to-PRE)");
+            require(elapsed(b.lastWr, c.cycle,
+                            tc.cwl + tc.bl + tc.wr),
+                    i, c, "write recovery violated (WR-to-PRE)");
+        }
+        // PRE on an already closed bank is harmless in DDR4 but our
+        // controller never does it, so flag it.
+        require(b.open || c.hiraRole == HiraRole::CutPre, i, c,
+                "PRE to a closed bank");
+        b.open = false;
+        b.lastPre = c.cycle;
+        b.lastPreRole = c.hiraRole;
+    }
+
+    void
+    checkColumn(std::size_t i, const Command &c)
+    {
+        BankAudit &b = bank(c);
+        RankAudit &r = ranks[static_cast<std::size_t>(c.rank)];
+        int group = geom.bankGroupOf(c.bank);
+        bool is_rd = c.type == CommandType::RD;
+        require(b.open, i, c, "column access to a closed bank");
+        require(b.row == c.row || c.row == 0, i, c,
+                "column access to a row other than the open row");
+        require(c.cycle >= r.refUntil, i, c, "CAS during tRFC window");
+        require(elapsed(b.lastAct, c.cycle, tc.rcd), i, c,
+                "tRCD violated (ACT-to-CAS)");
+        if (is_rd) {
+            if (r.lastRd != kNeverCycle) {
+                Cycle gap = group == r.lastRdGroup ? tc.ccdL : tc.ccdS;
+                require(c.cycle >= r.lastRd + gap, i, c, "tCCD violated");
+            }
+            if (r.lastWr != kNeverCycle) {
+                Cycle wtr = group == r.lastWrGroup ? tc.wtrL : tc.wtrS;
+                require(c.cycle >= r.lastWr + tc.cwl + tc.bl + wtr, i, c,
+                        "tWTR violated (WR-to-RD)");
+            }
+            b.lastRd = c.cycle;
+            r.lastRd = c.cycle;
+            r.lastRdGroup = group;
+        } else {
+            if (r.lastWr != kNeverCycle) {
+                Cycle gap = group == r.lastWrGroup ? tc.ccdL : tc.ccdS;
+                require(c.cycle >= r.lastWr + gap, i, c, "tCCD violated");
+            }
+            b.lastWr = c.cycle;
+            r.lastWr = c.cycle;
+            r.lastWrGroup = group;
+        }
+    }
+
+    void
+    checkRef(std::size_t i, const Command &c)
+    {
+        RankAudit &r = ranks[static_cast<std::size_t>(c.rank)];
+        require(c.cycle >= r.refUntil, i, c,
+                "REF during a previous tRFC window");
+        std::size_t base = static_cast<std::size_t>(c.rank) *
+                           static_cast<std::size_t>(geom.banksPerRank());
+        for (int bi = 0; bi < geom.banksPerRank(); ++bi) {
+            const BankAudit &b = banks[base + static_cast<std::size_t>(bi)];
+            require(!b.open, i, c, "REF with an open bank");
+            require(elapsed(b.lastPre, c.cycle, tc.rp), i, c,
+                    "REF before tRP after PRE");
+        }
+        r.refUntil = c.cycle + tc.rfc;
+    }
+};
+
+} // namespace
+
+std::vector<Violation>
+TimingChecker::check(const std::vector<Command> &trace) const
+{
+    std::vector<Violation> out;
+    Auditor a(geom, tc, out);
+    Cycle prev_cycle = kNeverCycle;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Command &c = trace[i];
+        if (prev_cycle != kNeverCycle) {
+            if (c.cycle < prev_cycle) {
+                a.violation(i, "trace not sorted by cycle");
+                continue;
+            }
+            if (c.cycle == prev_cycle) {
+                a.violation(i, strprintf(
+                    "two commands on one command-bus cycle (%llu)",
+                    (unsigned long long)c.cycle));
+            }
+        }
+        prev_cycle = c.cycle;
+        switch (c.type) {
+          case CommandType::ACT:
+            a.checkActLike(i, c, c.hiraRole == HiraRole::SecondAct);
+            break;
+          case CommandType::PRE:
+            a.checkPre(i, c);
+            break;
+          case CommandType::PREA:
+            for (BankId b = 0;
+                 b < static_cast<BankId>(geom.banksPerRank()); ++b) {
+                Command sub = c;
+                sub.bank = b;
+                if (a.bank(sub).open)
+                    a.checkPre(i, sub);
+            }
+            break;
+          case CommandType::RD:
+          case CommandType::WR:
+            a.checkColumn(i, c);
+            break;
+          case CommandType::REF:
+            a.checkRef(i, c);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace hira

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Independent DDR4 command-trace auditor.
+ *
+ * Re-derives protocol legality from scratch (separately from
+ * ChannelTimingModel, which the controller uses to schedule), so that
+ * tests can assert that every command trace a controller emits is legal.
+ * HiRA's deliberate tRAS / tRP violations are recognized through the
+ * HiraRole tags and checked against the *HiRA* rules instead: the inner
+ * PRE must come exactly t1 after the first ACT, the second ACT exactly t2
+ * after the PRE, and both ACTs must still satisfy tRRD / tFAW (§5.2).
+ */
+
+#ifndef HIRA_DRAM_TIMING_CHECKER_HH
+#define HIRA_DRAM_TIMING_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/command.hh"
+#include "dram/geometry.hh"
+#include "dram/timing.hh"
+#include "dram/timing_state.hh"
+
+namespace hira {
+
+/** One detected protocol violation. */
+struct Violation
+{
+    std::size_t commandIndex; //!< offending command's index in the trace
+    std::string message;
+};
+
+/** Audits a single channel's command trace. */
+class TimingChecker
+{
+  public:
+    TimingChecker(const Geometry &geom, const TimingParams &tp);
+
+    /**
+     * Check a trace (must be sorted by cycle; ties are a violation since
+     * a channel issues at most one command per cycle).
+     */
+    std::vector<Violation> check(const std::vector<Command> &trace) const;
+
+  private:
+    Geometry geom;
+    TimingCycles tc;
+};
+
+/** Append-only trace recorder controllers can optionally feed. */
+class TraceRecorder
+{
+  public:
+    void
+    record(const Command &cmd)
+    {
+        if (enabled)
+            trace.push_back(cmd);
+    }
+
+    void setEnabled(bool on) { enabled = on; }
+    bool isEnabled() const { return enabled; }
+    const std::vector<Command> &commands() const { return trace; }
+    void clear() { trace.clear(); }
+
+  private:
+    bool enabled = false;
+    std::vector<Command> trace;
+};
+
+} // namespace hira
+
+#endif // HIRA_DRAM_TIMING_CHECKER_HH

@@ -1,0 +1,523 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hira {
+
+MemoryController::MemoryController(int channel_id,
+                                   const ControllerConfig &config,
+                                   std::unique_ptr<RefreshScheme> scheme)
+    : channel(channel_id),
+      cfg(config),
+      model(config.geom, config.tp),
+      refreshScheme(std::move(scheme)),
+      paraSampler(config.para)
+{
+    hira_assert(refreshScheme != nullptr);
+    bankAux.resize(static_cast<std::size_t>(cfg.geom.ranksPerChannel) *
+                   static_cast<std::size_t>(cfg.geom.banksPerRank()));
+    rankHold.assign(static_cast<std::size_t>(cfg.geom.ranksPerChannel),
+                    false);
+    recorder.setEnabled(cfg.recordTrace);
+    refreshScheme->attach(this);
+}
+
+std::size_t
+MemoryController::bankIndex(int rank, BankId bank) const
+{
+    return static_cast<std::size_t>(rank) *
+               static_cast<std::size_t>(cfg.geom.banksPerRank()) +
+           bank;
+}
+
+MemoryController::BankAux &
+MemoryController::aux(int rank, BankId bank)
+{
+    return bankAux[bankIndex(rank, bank)];
+}
+
+const MemoryController::BankAux &
+MemoryController::aux(int rank, BankId bank) const
+{
+    return bankAux[bankIndex(rank, bank)];
+}
+
+void
+MemoryController::setRankHold(int rank, bool hold)
+{
+    rankHold[static_cast<std::size_t>(rank)] = hold;
+}
+
+bool
+MemoryController::rankHeld(int rank) const
+{
+    return rankHold[static_cast<std::size_t>(rank)];
+}
+
+std::vector<Command>
+MemoryController::trace() const
+{
+    std::vector<Command> t = recorder.commands();
+    std::stable_sort(t.begin(), t.end(),
+                     [](const Command &a, const Command &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return t;
+}
+
+bool
+MemoryController::bankBlocked(int rank, BankId bank) const
+{
+    const BankAux &a = aux(rank, bank);
+    return a.refreshOpen || !a.preventive.empty();
+}
+
+std::size_t
+MemoryController::pendingPreventive(int rank, BankId bank) const
+{
+    return aux(rank, bank).preventive.size();
+}
+
+bool
+MemoryController::readQueueFull() const
+{
+    return readQ.size() >=
+           static_cast<std::size_t>(cfg.readQueueCap);
+}
+
+bool
+MemoryController::writeQueueFull() const
+{
+    return writeQ.size() >=
+           static_cast<std::size_t>(cfg.writeQueueCap);
+}
+
+bool
+MemoryController::enqueue(const Request &req)
+{
+    hira_assert(req.da.channel == channel);
+    if (req.type == MemType::Read) {
+        // Forward from a queued write to the same line.
+        for (const Request &w : writeQ) {
+            if (w.addr == req.addr) {
+                completions_.push_back(
+                    {req.tag, req.coreId, req.arrival + 4});
+                ++stats_.forwards;
+                return true;
+            }
+        }
+        if (readQueueFull()) {
+            ++stats_.rejectedRequests;
+            return false;
+        }
+        readQ.push_back(req);
+        return true;
+    }
+    if (writeQueueFull()) {
+        ++stats_.rejectedRequests;
+        return false;
+    }
+    writeQ.push_back(req);
+    return true;
+}
+
+void
+MemoryController::record(CommandType type, Cycle cycle, int rank,
+                         BankId bank, RowId row, HiraRole role)
+{
+    if (!recorder.isEnabled())
+        return;
+    Command c;
+    c.type = type;
+    c.cycle = cycle;
+    c.channel = channel;
+    c.rank = rank;
+    c.bank = bank;
+    c.row = row;
+    c.hiraRole = role;
+    recorder.record(c);
+}
+
+void
+MemoryController::markIssued(Cycle now)
+{
+    hira_assert(!issuedThisCycle);
+    (void)now;
+    issuedThisCycle = true;
+}
+
+bool
+MemoryController::slotReservedAt(Cycle c) const
+{
+    return std::find(reservedSlots.begin(), reservedSlots.end(), c) !=
+           reservedSlots.end();
+}
+
+void
+MemoryController::reserveHiraSlots(Cycle now)
+{
+    reservedSlots.push_back(now + model.cycles().c1);
+    reservedSlots.push_back(now + model.cycles().hiraSpan());
+}
+
+bool
+MemoryController::busFree(Cycle now) const
+{
+    return !issuedThisCycle && !slotReservedAt(now);
+}
+
+void
+MemoryController::onRowActivation(int rank, BankId bank, RowId row,
+                                  Cycle now)
+{
+    ++stats_.acts;
+    refreshScheme->onActivate(rank, bank, row, now);
+    if (!paraSampler.enabled())
+        return;
+    RowId victim = paraSampler.sample(row, cfg.geom.rowsPerBank);
+    if (victim == kNoRow)
+        return;
+    ++paraSampler.generated;
+    if (cfg.paraImmediate)
+        aux(rank, bank).preventive.push_back(victim);
+    // In PreventiveRC mode the scheme saw the activation via onActivate
+    // and does its own (slack-adjusted) sampling.
+}
+
+// --------------------------------------------------------------------
+// Refresh-scheme primitives
+// --------------------------------------------------------------------
+
+bool
+MemoryController::tryRef(int rank, Cycle now)
+{
+    if (!busFree(now))
+        return false;
+    for (BankId b = 0; b < static_cast<BankId>(cfg.geom.banksPerRank());
+         ++b) {
+        if (model.openRow(rank, b) != kNoRow)
+            return false;
+    }
+    if (model.earliestRef(rank) > now)
+        return false;
+    model.issueRef(rank, now);
+    record(CommandType::REF, now, rank, 0, 0);
+    markIssued(now);
+    ++stats_.refs;
+    return true;
+}
+
+bool
+MemoryController::tryCloseOneBank(int rank, Cycle now)
+{
+    if (!busFree(now))
+        return false;
+    for (BankId b = 0; b < static_cast<BankId>(cfg.geom.banksPerRank());
+         ++b) {
+        if (model.openRow(rank, b) != kNoRow &&
+            model.earliestPre(rank, b) <= now) {
+            return tryPre(rank, b, now);
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::tryPre(int rank, BankId bank, Cycle now)
+{
+    if (!busFree(now) || model.openRow(rank, bank) == kNoRow ||
+        model.earliestPre(rank, bank) > now) {
+        return false;
+    }
+    model.issuePre(rank, bank, now);
+    record(CommandType::PRE, now, rank, bank, 0);
+    markIssued(now);
+    ++stats_.pres;
+    aux(rank, bank).refreshOpen = false;
+    return true;
+}
+
+bool
+MemoryController::tryRefreshAct(int rank, BankId bank, RowId row,
+                                Cycle now)
+{
+    if (!busFree(now) || rankHeld(rank) ||
+        model.openRow(rank, bank) != kNoRow ||
+        model.earliestAct(rank, bank) > now) {
+        return false;
+    }
+    model.issueAct(rank, bank, row, now);
+    record(CommandType::ACT, now, rank, bank, row);
+    markIssued(now);
+    aux(rank, bank).refreshOpen = true;
+    onRowActivation(rank, bank, row, now);
+    return true;
+}
+
+bool
+MemoryController::tryHiraRefreshPair(int rank, BankId bank, RowId first,
+                                     RowId second, Cycle now)
+{
+    const TimingCycles &tcy = model.cycles();
+    if (!busFree(now) || slotReservedAt(now + tcy.c1) ||
+        slotReservedAt(now + tcy.hiraSpan())) {
+        return false;
+    }
+    if (rankHeld(rank) || model.openRow(rank, bank) != kNoRow ||
+        model.earliestHira(rank, bank) > now) {
+        return false;
+    }
+    Cycle second_at = model.issueHira(rank, bank, first, second, now);
+    record(CommandType::ACT, now, rank, bank, first, HiraRole::FirstAct);
+    record(CommandType::PRE, now + tcy.c1, rank, bank, 0,
+           HiraRole::CutPre);
+    record(CommandType::ACT, second_at, rank, bank, second,
+           HiraRole::SecondAct);
+    reserveHiraSlots(now);
+    markIssued(now);
+    ++stats_.hiraOps;
+    aux(rank, bank).refreshOpen = true; // auto-PRE after the second tRAS
+    onRowActivation(rank, bank, first, now);
+    onRowActivation(rank, bank, second, second_at);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Per-cycle operation
+// --------------------------------------------------------------------
+
+void
+MemoryController::tick(Cycle now)
+{
+    issuedThisCycle = false;
+    lastTick = now;
+    // Retire expired HiRA bus-slot reservations.
+    if (!reservedSlots.empty()) {
+        reservedSlots.erase(
+            std::remove_if(reservedSlots.begin(), reservedSlots.end(),
+                           [now](Cycle c) { return c < now; }),
+            reservedSlots.end());
+    }
+
+    autoPreTick(now);
+    if (!issuedThisCycle && !slotReservedAt(now))
+        refreshScheme->tick(now);
+    if (!issuedThisCycle)
+        preventiveTick(now);
+    if (!issuedThisCycle)
+        scheduleDemand(now);
+}
+
+void
+MemoryController::autoPreTick(Cycle now)
+{
+    if (!busFree(now))
+        return;
+    for (int rank = 0; rank < cfg.geom.ranksPerChannel; ++rank) {
+        for (BankId b = 0;
+             b < static_cast<BankId>(cfg.geom.banksPerRank()); ++b) {
+            BankAux &a = aux(rank, b);
+            if (a.refreshOpen && model.openRow(rank, b) != kNoRow &&
+                model.earliestPre(rank, b) <= now) {
+                tryPre(rank, b, now);
+                return;
+            }
+        }
+    }
+}
+
+void
+MemoryController::preventiveTick(Cycle now)
+{
+    if (!cfg.paraImmediate || !paraSampler.enabled() || !busFree(now))
+        return;
+    int nbanks = cfg.geom.ranksPerChannel * cfg.geom.banksPerRank();
+    for (int i = 0; i < nbanks; ++i) {
+        int idx = (preventiveCursor + i) % nbanks;
+        int rank = idx / cfg.geom.banksPerRank();
+        BankId bank = static_cast<BankId>(idx % cfg.geom.banksPerRank());
+        BankAux &a = aux(rank, bank);
+        if (a.preventive.empty() || a.refreshOpen)
+            continue;
+        if (model.openRow(rank, bank) == kNoRow) {
+            if (rankHeld(rank))
+                continue;
+            RowId victim = a.preventive.front();
+            if (model.earliestAct(rank, bank) <= now) {
+                a.preventive.pop_front();
+                bool ok = tryRefreshAct(rank, bank, victim, now);
+                hira_assert(ok);
+                preventiveCursor = idx + 1;
+                return;
+            }
+        } else if (!queueHasRowHit(rank, bank,
+                                   model.openRow(rank, bank)) &&
+                   model.earliestPre(rank, bank) <= now) {
+            // Close the bank so the preventive refresh can proceed; row
+            // hits in flight drain first.
+            tryPre(rank, bank, now);
+            preventiveCursor = idx + 1;
+            return;
+        }
+    }
+}
+
+bool
+MemoryController::queueHasRowHit(int rank, BankId bank, RowId row) const
+{
+    for (const Request &r : readQ) {
+        if (r.da.rank == rank && r.da.bank == bank && r.da.row == row)
+            return true;
+    }
+    if (writeMode) {
+        for (const Request &r : writeQ) {
+            if (r.da.rank == rank && r.da.bank == bank &&
+                r.da.row == row) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::issueColumnIfReady(std::deque<Request> &queue,
+                                     bool is_read, Cycle now)
+{
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
+        int rank = req.da.rank;
+        BankId bank = req.da.bank;
+        if (aux(rank, bank).refreshOpen)
+            continue;
+        if (model.openRow(rank, bank) != req.da.row)
+            continue;
+        if (is_read) {
+            if (model.earliestRd(rank, bank) > now)
+                continue;
+            Cycle done = model.issueRd(rank, bank, now);
+            record(CommandType::RD, now, rank, bank, req.da.row);
+            completions_.push_back({req.tag, req.coreId, done});
+            stats_.readLatencySum += done - req.arrival;
+            ++stats_.readsServed;
+        } else {
+            if (model.earliestWr(rank, bank) > now)
+                continue;
+            model.issueWr(rank, bank, now);
+            record(CommandType::WR, now, rank, bank, req.da.row);
+            ++stats_.writesServed;
+        }
+        markIssued(now);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::tryDemandAct(const Request &req, Cycle now)
+{
+    int rank = req.da.rank;
+    BankId bank = req.da.bank;
+    if (rankHeld(rank) || model.earliestAct(rank, bank) > now)
+        return false;
+
+    // Case-1 hook (Fig. 8): give the refresh scheme the chance to hide a
+    // refresh under this activation with a HiRA operation.
+    RowId hidden =
+        refreshScheme->pickHiddenRefresh(rank, bank, req.da.row, now);
+    if (hidden != kNoRow) {
+        const TimingCycles &tcy = model.cycles();
+        if (model.earliestHira(rank, bank) <= now &&
+            !slotReservedAt(now + tcy.c1) &&
+            !slotReservedAt(now + tcy.hiraSpan())) {
+            Cycle second_at =
+                model.issueHira(rank, bank, hidden, req.da.row, now);
+            record(CommandType::ACT, now, rank, bank, hidden,
+                   HiraRole::FirstAct);
+            record(CommandType::PRE, now + tcy.c1, rank, bank, 0,
+                   HiraRole::CutPre);
+            record(CommandType::ACT, second_at, rank, bank, req.da.row,
+                   HiraRole::SecondAct);
+            reserveHiraSlots(now);
+            markIssued(now);
+            ++stats_.hiraOps;
+            refreshScheme->onHiraIssued(rank, bank, hidden, now);
+            onRowActivation(rank, bank, hidden, now);
+            onRowActivation(rank, bank, req.da.row, second_at);
+            return true;
+        }
+    }
+
+    model.issueAct(rank, bank, req.da.row, now);
+    record(CommandType::ACT, now, rank, bank, req.da.row);
+    markIssued(now);
+    onRowActivation(rank, bank, req.da.row, now);
+    return true;
+}
+
+bool
+MemoryController::issueRowCommand(std::deque<Request> &queue, Cycle now)
+{
+    // Oldest-first, one attempt per bank.
+    std::vector<bool> seen(bankAux.size(), false);
+    for (const Request &req : queue) {
+        int rank = req.da.rank;
+        BankId bank = req.da.bank;
+        std::size_t idx = bankIndex(rank, bank);
+        if (seen[idx])
+            continue;
+        seen[idx] = true;
+        if (bankBlocked(rank, bank))
+            continue;
+        RowId open = model.openRow(rank, bank);
+        if (open == req.da.row)
+            continue; // row hit waiting on CAS timing
+        if (open == kNoRow) {
+            if (tryDemandAct(req, now))
+                return true;
+            continue;
+        }
+        // Conflict: close the row once its queued hits have drained.
+        if (queueHasRowHit(rank, bank, open))
+            continue;
+        if (model.earliestPre(rank, bank) <= now)
+            return tryPre(rank, bank, now);
+    }
+    return false;
+}
+
+void
+MemoryController::scheduleDemand(Cycle now)
+{
+    if (!busFree(now))
+        return;
+
+    // Write-drain mode hysteresis; also drain opportunistically when
+    // there is no read work at all.
+    if (!writeMode) {
+        if (writeQ.size() >= static_cast<std::size_t>(cfg.drainHigh) ||
+            (readQ.empty() && !writeQ.empty())) {
+            writeMode = true;
+        }
+    } else if (writeQ.size() <= static_cast<std::size_t>(cfg.drainLow) &&
+               !readQ.empty()) {
+        writeMode = false;
+    }
+    if (writeMode && writeQ.empty())
+        writeMode = false;
+
+    std::deque<Request> &active = writeMode ? writeQ : readQ;
+    if (active.empty())
+        return;
+
+    // FR-FCFS: ready column accesses first, then oldest-first row
+    // commands.
+    if (issueColumnIfReady(active, !writeMode, now))
+        return;
+    issueRowCommand(active, now);
+}
+
+} // namespace hira

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Cycle-level DDR4 memory controller for one channel.
+ *
+ * Models the Table 3 controller: 64-entry read and write queues,
+ * FR-FCFS scheduling [143, 190] with the open-row policy, write-drain
+ * watermarks, one command per channel cycle (the shared command bus all
+ * ranks contend on, which drives the Fig. 14/16 rank-scaling behavior),
+ * a pluggable refresh scheme (NoRefresh / BaselineRefresh / HiRA-MC),
+ * and PARA in its original immediate form (preventive refresh as soon
+ * as the activated row's bank is free) or delegated to the scheme's
+ * PreventiveRC.
+ *
+ * The HiRA operation is issued atomically: the controller reserves the
+ * two future command-bus slots for the inner PRE and second ACT, applies
+ * the timing effects through ChannelTimingModel::issueHira, and logs all
+ * three commands with HiraRole tags so TimingChecker can audit traces.
+ */
+
+#ifndef HIRA_MEM_CONTROLLER_HH
+#define HIRA_MEM_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dram/timing_checker.hh"
+#include "dram/timing_state.hh"
+#include "mem/para.hh"
+#include "mem/refresh.hh"
+#include "mem/request.hh"
+
+namespace hira {
+
+/** Static configuration of one controller. */
+struct ControllerConfig
+{
+    Geometry geom;
+    TimingParams tp;
+    int readQueueCap = 64;
+    int writeQueueCap = 64;
+    int drainHigh = 48;  //!< enter write-drain mode at this depth
+    int drainLow = 16;   //!< leave write-drain mode at this depth
+    ParaConfig para;
+    /**
+     * True: preventive refreshes execute immediately (original PARA).
+     * False: activations are only reported to the refresh scheme, whose
+     * PreventiveRC queues them with slack (HiRA-MC).
+     */
+    bool paraImmediate = true;
+    bool recordTrace = false; //!< feed the TimingChecker trace recorder
+};
+
+/** Demand-side statistics. */
+struct ControllerStats
+{
+    std::uint64_t readsServed = 0;
+    std::uint64_t writesServed = 0;
+    std::uint64_t readLatencySum = 0; //!< enqueue to data return, cycles
+    std::uint64_t forwards = 0;       //!< reads served from the write queue
+    std::uint64_t acts = 0;
+    std::uint64_t pres = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t hiraOps = 0;
+    std::uint64_t rejectedRequests = 0; //!< enqueue failures (full queue)
+};
+
+/** One channel's memory controller. */
+class MemoryController
+{
+  public:
+    MemoryController(int channel_id, const ControllerConfig &cfg,
+                     std::unique_ptr<RefreshScheme> scheme);
+
+    // ----- demand interface -------------------------------------------
+
+    /** Enqueue a demand request; false if the queue is full. */
+    bool enqueue(const Request &req);
+
+    /** Advance one memory-bus cycle. */
+    void tick(Cycle now);
+
+    /** Completions accumulated since the last drain. */
+    std::vector<Completion> &completions() { return completions_; }
+
+    bool readQueueFull() const;
+    bool writeQueueFull() const;
+    std::size_t queuedReads() const { return readQ.size(); }
+    std::size_t queuedWrites() const { return writeQ.size(); }
+
+    // ----- primitives for refresh schemes ------------------------------
+
+    /** True if the command bus can carry a command this cycle. */
+    bool busFree(Cycle now) const;
+
+    /** Issue an all-bank REF to the rank (all banks must be closed). */
+    bool tryRef(int rank, Cycle now);
+
+    /** Precharge one open bank of the rank (REF preparation). */
+    bool tryCloseOneBank(int rank, Cycle now);
+
+    /** Precharge a specific bank. */
+    bool tryPre(int rank, BankId bank, Cycle now);
+
+    /**
+     * Standalone per-row refresh: ACT @p row now, auto-PRE after tRAS.
+     * The bank is withheld from demand scheduling until the PRE.
+     */
+    bool tryRefreshAct(int rank, BankId bank, RowId row, Cycle now);
+
+    /**
+     * Refresh-refresh HiRA (Section 5.1.3 case 2): one HiRA op
+     * refreshing @p first and @p second, auto-PRE after the second's
+     * tRAS.
+     */
+    bool tryHiraRefreshPair(int rank, BankId bank, RowId first,
+                            RowId second, Cycle now);
+
+    // ----- inspection ---------------------------------------------------
+
+    const ChannelTimingModel &timing() const { return model; }
+    const Geometry &geometry() const { return cfg.geom; }
+    const TimingCycles &tc() const { return model.cycles(); }
+    const ControllerStats &stats() const { return stats_; }
+    RefreshScheme &scheme() { return *refreshScheme; }
+    const RefreshScheme &scheme() const { return *refreshScheme; }
+    ParaSampler &para() { return paraSampler; }
+    /**
+     * Recorded command trace, sorted by issue cycle (HiRA's inner PRE /
+     * second ACT are recorded at issue time but occupy future bus
+     * slots).
+     */
+    std::vector<Command> trace() const;
+    int channelId() const { return channel; }
+
+    /** True if the bank is withheld from demand scheduling. */
+    bool bankBlocked(int rank, BankId bank) const;
+
+    /**
+     * Hold all new activations to the rank (REF preparation: the rank
+     * must drain to all-banks-precharged before a REF can issue).
+     */
+    void setRankHold(int rank, bool hold);
+    bool rankHeld(int rank) const;
+
+    /** Pending preventive refreshes on the bank (immediate PARA). */
+    std::size_t pendingPreventive(int rank, BankId bank) const;
+
+  private:
+    struct BankAux
+    {
+        bool refreshOpen = false;      //!< refresh row open, PRE pending
+        std::deque<RowId> preventive;  //!< immediate-PARA victims
+    };
+
+    std::size_t bankIndex(int rank, BankId bank) const;
+    BankAux &aux(int rank, BankId bank);
+    const BankAux &aux(int rank, BankId bank) const;
+
+    void record(CommandType type, Cycle cycle, int rank, BankId bank,
+                RowId row, HiraRole role = HiraRole::None);
+    void markIssued(Cycle now);
+    bool slotReservedAt(Cycle c) const;
+    void reserveHiraSlots(Cycle now);
+
+    /** Every activation funnels through here (PARA sampling hook). */
+    void onRowActivation(int rank, BankId bank, RowId row, Cycle now);
+
+    void autoPreTick(Cycle now);
+    void preventiveTick(Cycle now);
+    void scheduleDemand(Cycle now);
+    bool issueColumnIfReady(std::deque<Request> &queue, bool is_read,
+                            Cycle now);
+    bool issueRowCommand(std::deque<Request> &queue, Cycle now);
+    bool queueHasRowHit(int rank, BankId bank, RowId row) const;
+    bool tryDemandAct(const Request &req, Cycle now);
+
+    int channel;
+    ControllerConfig cfg;
+    ChannelTimingModel model;
+    std::unique_ptr<RefreshScheme> refreshScheme;
+    ParaSampler paraSampler;
+
+    std::deque<Request> readQ, writeQ;
+    std::vector<Completion> completions_;
+    std::vector<BankAux> bankAux;
+    std::vector<Cycle> reservedSlots; //!< future HiRA PRE/ACT bus slots
+
+    std::vector<bool> rankHold;
+    bool writeMode = false;
+    bool issuedThisCycle = false;
+    Cycle lastTick = 0;
+    int preventiveCursor = 0;
+
+    ControllerStats stats_;
+    TraceRecorder recorder;
+};
+
+} // namespace hira
+
+#endif // HIRA_MEM_CONTROLLER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PARA [84]: the stateless probabilistic RowHammer defense HiRA-MC's
+ * PreventiveRC builds on (Section 9).
+ *
+ * On every row activation, with probability pth, one of the two
+ * physically adjacent rows is selected for a preventive refresh.
+ * Preventive refreshes are themselves row activations and are sampled
+ * too (they genuinely disturb their own neighbors); this recursion is
+ * what makes PARA's overhead explode at very low RowHammer thresholds
+ * (Fig. 12: 96 % at NRH = 64, where pth ~0.86).
+ */
+
+#ifndef HIRA_MEM_PARA_HH
+#define HIRA_MEM_PARA_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hira {
+
+/** PARA configuration. */
+struct ParaConfig
+{
+    bool enabled = false;
+    double pth = 0.0;          //!< preventive-refresh probability
+    std::uint64_t seed = 0x9a5a;
+};
+
+/** The sampling logic, shared by immediate PARA and PreventiveRC. */
+class ParaSampler
+{
+  public:
+    explicit ParaSampler(const ParaConfig &cfg)
+        : cfg(cfg), rng(hashCombine(cfg.seed, 0xbeef))
+    {
+    }
+
+    bool enabled() const { return cfg.enabled; }
+    double pth() const { return cfg.pth; }
+
+    /**
+     * Sample an activation of @p row. Returns the victim row to
+     * preventively refresh, or kNoRow (the common case).
+     */
+    RowId
+    sample(RowId row, std::uint32_t rows_per_bank)
+    {
+        if (!cfg.enabled || !rng.chance(cfg.pth))
+            return kNoRow;
+        // Fig. 10: each neighbor is refreshed with probability pth/2.
+        bool up = rng.chance(0.5);
+        if (up && row + 1 < rows_per_bank)
+            return row + 1;
+        if (!up && row > 0)
+            return row - 1;
+        return row + 1 < rows_per_bank ? row + 1 : row - 1;
+    }
+
+    /** Count of preventive refreshes generated (stat). */
+    std::uint64_t generated = 0;
+
+  private:
+    ParaConfig cfg;
+    Rng rng;
+};
+
+} // namespace hira
+
+#endif // HIRA_MEM_PARA_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Refresh scheme interface and the two non-HiRA schemes: NoRefresh (the
+ * ideal upper bound of Fig. 9a) and BaselineRefresh (rank-level REF
+ * every tREFI, as in deployed DDR4 controllers).
+ */
+
+#ifndef HIRA_MEM_REFRESH_HH
+#define HIRA_MEM_REFRESH_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/geometry.hh"
+
+namespace hira {
+
+class MemoryController;
+
+/** Refresh statistics every scheme reports. */
+struct RefreshStats
+{
+    std::uint64_t refCommands = 0;       //!< rank-level REF commands
+    std::uint64_t rowRefreshes = 0;      //!< per-row refresh operations
+    std::uint64_t accessPaired = 0;      //!< hidden under a demand ACT
+    std::uint64_t refreshPaired = 0;     //!< two refreshes per HiRA op
+    std::uint64_t standalone = 0;        //!< plain ACT+PRE refreshes
+    std::uint64_t deadlineMisses = 0;    //!< executed past their deadline
+    std::uint64_t preventiveGenerated = 0;
+};
+
+/**
+ * A refresh scheme plugged into one memory controller. The controller
+ * calls tick() first each cycle (refresh has priority over demand
+ * scheduling when deadlines require it) and offers the Case-1 hook
+ * before every demand activation.
+ */
+class RefreshScheme
+{
+  public:
+    virtual ~RefreshScheme() = default;
+
+    /** Called once after the controller is constructed. */
+    virtual void attach(MemoryController *ctrl) { this->ctrl = ctrl; }
+
+    /**
+     * Per-cycle refresh work. May issue at most one command through the
+     * controller's try* primitives.
+     */
+    virtual void tick(Cycle now) = 0;
+
+    /**
+     * Case-1 hook (Fig. 8): the controller is about to activate
+     * @p row_a on (rank, bank) for a demand access. Return a row whose
+     * refresh should ride along as HiRA's first ACT, or kNoRow.
+     */
+    virtual RowId
+    pickHiddenRefresh(int rank, BankId bank, RowId row_a, Cycle now)
+    {
+        (void)rank; (void)bank; (void)row_a; (void)now;
+        return kNoRow;
+    }
+
+    /** The proposed HiRA op was issued; commit the bookkeeping. */
+    virtual void
+    onHiraIssued(int rank, BankId bank, RowId refresh_row, Cycle now)
+    {
+        (void)rank; (void)bank; (void)refresh_row; (void)now;
+    }
+
+    /** Notification of every row activation (for PreventiveRC). */
+    virtual void
+    onActivate(int rank, BankId bank, RowId row, Cycle now)
+    {
+        (void)rank; (void)bank; (void)row; (void)now;
+    }
+
+    const RefreshStats &stats() const { return stats_; }
+
+  protected:
+    MemoryController *ctrl = nullptr;
+    RefreshStats stats_;
+};
+
+/** The ideal No Refresh configuration (Fig. 9a's normalization base). */
+class NoRefresh : public RefreshScheme
+{
+  public:
+    void tick(Cycle) override {}
+};
+
+/**
+ * Conventional rank-level refresh: one all-bank REF per rank every
+ * tREFI, rank offsets staggered; blocks the rank for tRFC.
+ *
+ * With @p max_postpone > 0 it behaves like Elastic Refresh [161] within
+ * the DDR4 postponement rules: a due REF is deferred while demand reads
+ * are queued, up to max_postpone (the standard allows 8) outstanding
+ * REFs, after which it is forced.
+ */
+class BaselineRefresh : public RefreshScheme
+{
+  public:
+    explicit BaselineRefresh(int max_postpone = 0)
+        : maxPostpone(max_postpone)
+    {
+    }
+
+    void attach(MemoryController *ctrl) override;
+    void tick(Cycle now) override;
+
+    /** Currently postponed REFs on the rank (test hook). */
+    int debtOf(int rank) const { return debt[rank]; }
+
+  private:
+    int maxPostpone;
+    std::vector<Cycle> nextRefAt; //!< per rank
+    std::vector<int> debt;        //!< postponed REFs per rank
+    std::vector<bool> closing;    //!< draining banks ahead of a due REF
+};
+
+} // namespace hira
+
+#endif // HIRA_MEM_REFRESH_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Memory requests and completions exchanged between the LLC / cores and
+ * the memory controllers.
+ */
+
+#ifndef HIRA_MEM_REQUEST_HH
+#define HIRA_MEM_REQUEST_HH
+
+#include "common/types.hh"
+#include "dram/addrmap.hh"
+
+namespace hira {
+
+/** Demand request kind. */
+enum class MemType
+{
+    Read,
+    Write,
+};
+
+/** One demand memory request (64-byte line granularity). */
+struct Request
+{
+    MemType type = MemType::Read;
+    Addr addr = 0;          //!< line-aligned physical address
+    DramAddr da;            //!< decoded DRAM coordinates
+    int coreId = -1;        //!< requesting core (-1: writeback)
+    std::uint64_t tag = 0;  //!< issuer-meaningful identifier
+    Cycle arrival = 0;      //!< cycle the request entered the controller
+};
+
+/** Completion notification for a read. */
+struct Completion
+{
+    std::uint64_t tag = 0;
+    int coreId = -1;
+    Cycle at = 0; //!< cycle the data is fully returned
+};
+
+} // namespace hira
+
+#endif // HIRA_MEM_REQUEST_HH

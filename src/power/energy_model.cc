@@ -1,0 +1,75 @@
+#include "power/energy_model.hh"
+
+namespace hira {
+
+EnergyModel::EnergyModel(const TimingParams &timing, const IddParams &idd)
+    : tp(timing), params(idd)
+{
+}
+
+namespace {
+
+/** Charge-above-standby energy: (I - I_base) * t * V, in nJ. */
+double
+deltaEnergyNj(double i_ma, double i_base_ma, double t_ns, double vdd,
+              int chips)
+{
+    // mA * ns * V = pJ; divide by 1000 for nJ; multiply by chips.
+    return (i_ma - i_base_ma) * t_ns * vdd * chips / 1000.0;
+}
+
+} // namespace
+
+double
+EnergyModel::actPreEnergyNj() const
+{
+    return deltaEnergyNj(params.idd0, params.idd3n, tp.tRC, params.vdd,
+                         params.chipsPerRank);
+}
+
+double
+EnergyModel::readEnergyNj() const
+{
+    return deltaEnergyNj(params.idd4r, params.idd3n, tp.tBL, params.vdd,
+                         params.chipsPerRank);
+}
+
+double
+EnergyModel::writeEnergyNj() const
+{
+    return deltaEnergyNj(params.idd4w, params.idd3n, tp.tBL, params.vdd,
+                         params.chipsPerRank);
+}
+
+double
+EnergyModel::refEnergyNj() const
+{
+    return deltaEnergyNj(params.idd5b, params.idd2n, tp.tRFC, params.vdd,
+                         params.chipsPerRank);
+}
+
+double
+EnergyModel::backgroundEnergyNj(int ranks, Cycle cycles) const
+{
+    // Conservative: active-standby current for every rank.
+    double t_ns = static_cast<double>(cycles) * tp.tCK;
+    return params.idd3n * t_ns * params.vdd * params.chipsPerRank *
+           ranks / 1000.0;
+}
+
+EnergyBreakdown
+EnergyModel::attribute(const ControllerStats &cs, const RefreshStats &rs,
+                       int ranks, Cycle cycles) const
+{
+    EnergyBreakdown e;
+    e.actPreNj = static_cast<double>(cs.acts) * actPreEnergyNj();
+    e.readNj = static_cast<double>(cs.readsServed) * readEnergyNj();
+    e.writeNj = static_cast<double>(cs.writesServed) * writeEnergyNj();
+    e.refNj = static_cast<double>(rs.refCommands) * refEnergyNj();
+    e.backgroundNj = backgroundEnergyNj(ranks, cycles);
+    e.refreshNj = e.refNj + static_cast<double>(rs.rowRefreshes) *
+                                actPreEnergyNj();
+    return e;
+}
+
+} // namespace hira

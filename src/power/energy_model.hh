@@ -1,0 +1,95 @@
+/**
+ * @file
+ * IDD-based DDR4 energy model (Micron power-calculator methodology).
+ *
+ * Extension beyond the paper's evaluation: Section 5.2 reasons about
+ * HiRA's activation-power budget through tFAW but does not quantify
+ * energy. This model attributes energy to row activations (IDD0),
+ * column bursts (IDD4R/W), REF commands (IDD5B), and standby background
+ * current, so the bench harnesses can compare the energy of rank-level
+ * REF against HiRA's per-row refresh streams.
+ */
+
+#ifndef HIRA_POWER_ENERGY_MODEL_HH
+#define HIRA_POWER_ENERGY_MODEL_HH
+
+#include "dram/geometry.hh"
+#include "dram/timing.hh"
+#include "mem/controller.hh"
+#include "mem/refresh.hh"
+
+namespace hira {
+
+/**
+ * DDR4-2400 x8 current parameters (mA per chip, datasheet-typical
+ * values [113]) and supply voltage.
+ */
+struct IddParams
+{
+    double vdd = 1.2;     //!< V
+    double idd0 = 55.0;   //!< one ACT-PRE cycle
+    double idd2n = 34.0;  //!< precharge standby
+    double idd3n = 42.0;  //!< active standby
+    double idd4r = 150.0; //!< read burst
+    double idd4w = 145.0; //!< write burst
+    double idd5b = 190.0; //!< refresh burst
+    int chipsPerRank = 8; //!< x8 chips per 64-bit rank
+};
+
+/** Energy attribution for one simulation interval (nanojoules). */
+struct EnergyBreakdown
+{
+    double actPreNj = 0.0;     //!< demand + refresh row activations
+    double readNj = 0.0;
+    double writeNj = 0.0;
+    double refNj = 0.0;        //!< rank-level REF commands
+    double backgroundNj = 0.0; //!< standby current over the interval
+
+    double
+    totalNj() const
+    {
+        return actPreNj + readNj + writeNj + refNj + backgroundNj;
+    }
+
+    /** Energy spent on refresh work only (REF + refresh activations). */
+    double refreshNj = 0.0;
+};
+
+/** The energy model for one rank population. */
+class EnergyModel
+{
+  public:
+    EnergyModel(const TimingParams &tp, const IddParams &idd = {});
+
+    /** Energy of one ACT+PRE pair on one rank (nJ). */
+    double actPreEnergyNj() const;
+
+    /** Energy of one read / write burst on one rank (nJ). */
+    double readEnergyNj() const;
+    double writeEnergyNj() const;
+
+    /** Energy of one all-bank REF on one rank (nJ). */
+    double refEnergyNj() const;
+
+    /** Standby energy of @p ranks ranks over @p cycles bus cycles. */
+    double backgroundEnergyNj(int ranks, Cycle cycles) const;
+
+    /**
+     * Attribute a simulation interval's energy from controller and
+     * refresh statistics. Refresh row activations are the scheme's
+     * rowRefreshes; demand activations are the remainder of acts.
+     */
+    EnergyBreakdown attribute(const ControllerStats &cs,
+                              const RefreshStats &rs, int ranks,
+                              Cycle cycles) const;
+
+    const IddParams &idd() const { return params; }
+
+  private:
+    TimingParams tp;
+    IddParams params;
+};
+
+} // namespace hira
+
+#endif // HIRA_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,120 @@
+#include "security/para_analysis.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace hira {
+
+double
+slackActivations(double t_ref_slack_ns, const ParaParams &pp)
+{
+    return t_ref_slack_ns / pp.tRC;
+}
+
+double
+logRowHammerSuccess(double pth, double nrh, double n_ref_slack,
+                    const ParaParams &pp)
+{
+    hira_assert(pth > 0.0 && pth < 1.0);
+    hira_assert(nrh > 0.0);
+    // Expression 7: Nf_max = ((tREFW / tRC) - NRH - NRefSlack) / 2.
+    double nf_max_d =
+        (pp.windowActivations() - nrh - n_ref_slack) / 2.0;
+    hira_assert(nf_max_d >= 0.0);
+    std::uint64_t nf_max = static_cast<std::uint64_t>(nf_max_d);
+
+    // Expression 8:
+    //   pRH = sum_{Nf=0}^{Nfmax} (1-p/2)^(Nf + NRH - NRefSlack) (p/2)^Nf
+    //       = (1-p/2)^(NRH - NRefSlack) * sum r^Nf,  r = (p/2)(1-p/2).
+    double log_q = std::log1p(-pth / 2.0);      // log(1 - p/2)
+    double log_half_p = std::log(pth / 2.0);    // log(p/2)
+    double log_r = log_half_p + log_q;
+    double exponent = nrh - n_ref_slack;
+    return exponent * log_q + logGeometricSum(log_r, nf_max);
+}
+
+double
+rowHammerSuccess(double pth, double nrh, double n_ref_slack,
+                 const ParaParams &pp)
+{
+    return std::exp(logRowHammerSuccess(pth, nrh, n_ref_slack, pp));
+}
+
+double
+logRowHammerSuccessLegacy(double pth, double nrh)
+{
+    return nrh * std::log1p(-pth / 2.0);
+}
+
+double
+kFactor(double pth, double nrh, double n_ref_slack, const ParaParams &pp)
+{
+    return std::exp(logRowHammerSuccess(pth, nrh, n_ref_slack, pp) -
+                    logRowHammerSuccessLegacy(pth, nrh));
+}
+
+namespace {
+
+/** Bisection for a strictly decreasing log-probability function. */
+template <typename F>
+double
+bisectPth(F &&log_prob, double log_target)
+{
+    double lo = 1e-9, hi = 1.0 - 1e-9;
+    // log_prob decreases in pth: prob(lo) > target > prob(hi) expected.
+    for (int iter = 0; iter < 200; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (log_prob(mid) > log_target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+double
+solvePth(double nrh, double n_ref_slack, const ParaParams &pp)
+{
+    double log_target = std::log(pp.target);
+    return bisectPth(
+        [&](double p) {
+            return logRowHammerSuccess(p, nrh, n_ref_slack, pp);
+        },
+        log_target);
+}
+
+double
+solvePthLegacy(double nrh, const ParaParams &pp)
+{
+    double log_target = std::log(pp.target);
+    return bisectPth(
+        [&](double p) { return logRowHammerSuccessLegacy(p, nrh); },
+        log_target);
+}
+
+std::vector<ParaSweepPoint>
+paraSweep(const std::vector<double> &nrh_values,
+          const std::vector<double> &slack_ns_values, const ParaParams &pp)
+{
+    std::vector<ParaSweepPoint> out;
+    for (double nrh : nrh_values) {
+        double legacy = solvePthLegacy(nrh, pp);
+        for (double slack_ns : slack_ns_values) {
+            ParaSweepPoint pt;
+            pt.nrh = nrh;
+            pt.slackNs = slack_ns;
+            double nrs = slackActivations(slack_ns, pp);
+            pt.pth = solvePth(nrh, nrs, pp);
+            pt.pthLegacy = legacy;
+            pt.legacyTruePrh = rowHammerSuccess(legacy, nrh, nrs, pp);
+            out.push_back(pt);
+        }
+    }
+    return out;
+}
+
+} // namespace hira

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Security analysis of PARA under HiRA-MC's refresh queueing slack
+ * (Section 9.1, Expressions 2-9, Figs. 10-11).
+ *
+ * PARA refreshes a neighbor of every activated row with probability pth.
+ * The paper models the attack as Nf failed attempts (each costing, in
+ * the worst case, one aggressor activation plus one preventive refresh)
+ * followed by one successful run of NRH unpunished activations, sums the
+ * success probability over all Nf that fit in a refresh window, extends
+ * it with the extra activations an attacker gains while a preventive
+ * refresh sits queued for tRefSlack, and solves pth for a 1e-15 failure
+ * target. All computation here is in log space: the raw probabilities
+ * underflow doubles by hundreds of orders of magnitude.
+ */
+
+#ifndef HIRA_SECURITY_PARA_ANALYSIS_HH
+#define HIRA_SECURITY_PARA_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hira {
+
+/** System constants entering the analysis (footnote 13 defaults). */
+struct ParaParams
+{
+    double tREFW = 64.0e6;    //!< refresh window, ns
+    double tRC = 46.25;       //!< row cycle, ns
+    double target = 1.0e-15;  //!< RowHammer success probability target
+
+    /** Activations an attacker fits in one refresh window. */
+    double windowActivations() const { return tREFW / tRC; }
+};
+
+/**
+ * Worst-case extra activations the attacker performs while a preventive
+ * refresh is queued (NRefSlack = tRefSlack / tRC, Step 4).
+ */
+double slackActivations(double t_ref_slack_ns, const ParaParams &pp = {});
+
+/**
+ * log of the overall RowHammer success probability (Expression 8) for a
+ * given PARA threshold.
+ * @param pth PARA probability threshold in (0, 1)
+ * @param nrh RowHammer threshold of the chip
+ * @param n_ref_slack worst-case queued-refresh activations
+ */
+double logRowHammerSuccess(double pth, double nrh, double n_ref_slack,
+                           const ParaParams &pp = {});
+
+/** Expression 8 in linear space (may underflow to 0 for large pth). */
+double rowHammerSuccess(double pth, double nrh, double n_ref_slack,
+                        const ParaParams &pp = {});
+
+/**
+ * PARA-Legacy's success model [84]: (1 - pth/2)^NRH, assuming the
+ * attacker hammers exactly NRH times and no more (Section 9.1.3).
+ */
+double logRowHammerSuccessLegacy(double pth, double nrh);
+
+/**
+ * Expression 9's k factor: how much larger the true success probability
+ * is than PARA-Legacy's estimate at the same pth.
+ */
+double kFactor(double pth, double nrh, double n_ref_slack,
+               const ParaParams &pp = {});
+
+/**
+ * Solve pth so the overall success probability meets the target
+ * (Step 5; bisection on the strictly decreasing Expression 8).
+ */
+double solvePth(double nrh, double n_ref_slack, const ParaParams &pp = {});
+
+/** Solve pth under the PARA-Legacy model (the dashed Fig. 11 curves). */
+double solvePthLegacy(double nrh, const ParaParams &pp = {});
+
+/** One point of the Fig. 11 sweep. */
+struct ParaSweepPoint
+{
+    double nrh;
+    double slackNs;
+    double pth;        //!< threshold meeting the 1e-15 target (Fig. 11a)
+    double pthLegacy;  //!< PARA-Legacy threshold at the same NRH
+    double legacyTruePrh; //!< Expression 8 evaluated at pthLegacy (Fig. 11b)
+};
+
+/** Compute the Fig. 11 sweep for the given thresholds and slacks. */
+std::vector<ParaSweepPoint>
+paraSweep(const std::vector<double> &nrh_values,
+          const std::vector<double> &slack_ns_values,
+          const ParaParams &pp = {});
+
+} // namespace hira
+
+#endif // HIRA_SECURITY_PARA_ANALYSIS_HH

@@ -1,0 +1,116 @@
+#include "sim/core.hh"
+
+#include "common/logging.hh"
+
+namespace hira {
+
+CoreModel::CoreModel(int id, TraceGen &gen, Llc &llc, int width,
+                     int window_entries)
+    : id(id), gen(gen), llc(llc), width(width), windowSize(window_entries)
+{
+    hira_assert(width > 0 && window_entries > 0);
+    window.assign(static_cast<std::size_t>(window_entries), Slot{});
+}
+
+void
+CoreModel::retireReady()
+{
+    for (int i = 0; i < width && occupancy > 0; ++i) {
+        Slot &s = window[head];
+        if (!s.done || s.readyAt > cpuCycle)
+            return;
+        s.valid = false;
+        head = (head + 1) % window.size();
+        --occupancy;
+        ++retired;
+    }
+}
+
+bool
+CoreModel::dispatchOne(Cycle mem_now)
+{
+    if (occupancy >= static_cast<std::size_t>(windowSize))
+        return false;
+    if (!hasPendingInst) {
+        pendingInst = gen.next();
+        hasPendingInst = true;
+    }
+    Slot &s = window[tail];
+    s.valid = true;
+    s.tag = 0;
+    s.waitingMem = false;
+    if (!pendingInst.isMem) {
+        s.done = true;
+        s.readyAt = cpuCycle;
+    } else {
+        std::uint64_t tag = nextTag++;
+        LlcResult res = llc.access(pendingInst.isWrite, pendingInst.addr,
+                                   id, tag, mem_now);
+        if (res == LlcResult::Blocked)
+            return false; // keep the instruction pending, stall
+        if (pendingInst.isWrite) {
+            ++stores;
+            // Stores are posted (store buffer): retire immediately.
+            s.done = true;
+            s.readyAt = cpuCycle;
+        } else {
+            ++loads;
+            if (res == LlcResult::Hit) {
+                s.done = true;
+                s.readyAt = cpuCycle +
+                            static_cast<Cycle>(30); // LLC hit latency
+            } else {
+                s.done = false;
+                s.tag = tag;
+                s.waitingMem = true;
+            }
+        }
+    }
+    hasPendingInst = false;
+    tail = (tail + 1) % window.size();
+    ++occupancy;
+    return true;
+}
+
+void
+CoreModel::tick(Cycle mem_now)
+{
+    ++cpuCycle;
+    retireReady();
+    int dispatched = 0;
+    for (int i = 0; i < width; ++i) {
+        if (!dispatchOne(mem_now))
+            break;
+        ++dispatched;
+    }
+    if (dispatched == 0)
+        ++stallCycles;
+}
+
+void
+CoreModel::onDataReturn(std::uint64_t tag)
+{
+    // The window is small (128); a linear scan per return is cheap.
+    for (Slot &s : window) {
+        if (s.valid && s.waitingMem && s.tag == tag) {
+            s.done = true;
+            s.waitingMem = false;
+            s.readyAt = cpuCycle;
+            return;
+        }
+    }
+    // Returns for slots that already left the measurement window (e.g.,
+    // after a stats reset) are harmless.
+}
+
+void
+CoreModel::resetStats()
+{
+    retired = 0;
+    cpuCycle = 0;
+    loads = 0;
+    stores = 0;
+    stallCycles = 0;
+}
+
+} // namespace hira

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-driven core model (Table 3: 3.2 GHz, 4-wide issue, 128-entry
+ * instruction window), at the same modeling altitude as Ramulator's
+ * simple OOO core: non-memory instructions retire at full width, loads
+ * occupy a window slot until their data returns, stores are posted.
+ */
+
+#ifndef HIRA_SIM_CORE_HH
+#define HIRA_SIM_CORE_HH
+
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/trace.hh"
+
+namespace hira {
+
+/** One simulated core. */
+class CoreModel
+{
+  public:
+    /**
+     * @param id core id
+     * @param gen this core's trace generator (owned by caller)
+     * @param llc the shared LLC
+     * @param width issue/retire width (4)
+     * @param window instruction-window entries (128)
+     */
+    CoreModel(int id, TraceGen &gen, Llc &llc, int width = 4,
+              int window = 128);
+
+    /** Advance one CPU cycle (@p mem_now is the memory-clock time). */
+    void tick(Cycle mem_now);
+
+    /** A missed load's data returned (tag from the access). */
+    void onDataReturn(std::uint64_t tag);
+
+    /** Begin the measurement interval. */
+    void resetStats();
+
+    std::uint64_t retiredInstructions() const { return retired; }
+    Cycle cpuCycles() const { return cpuCycle; }
+    double
+    ipc() const
+    {
+        return cpuCycle == 0
+                   ? 0.0
+                   : static_cast<double>(retired) /
+                         static_cast<double>(cpuCycle);
+    }
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t stallCycles = 0; //!< cycles with zero dispatch
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        bool done = false;
+        Cycle readyAt = 0;         //!< CPU cycle a hit completes
+        std::uint64_t tag = 0;     //!< for miss matching
+        bool waitingMem = false;
+    };
+
+    bool dispatchOne(Cycle mem_now);
+    void retireReady();
+
+    int id;
+    TraceGen &gen;
+    Llc &llc;
+    int width;
+    int windowSize;
+    std::vector<Slot> window;
+    std::size_t head = 0, tail = 0, occupancy = 0;
+    std::uint64_t nextTag = 1;
+    bool hasPendingInst = false;
+    TraceInst pendingInst;
+
+    Cycle cpuCycle = 0;
+    std::uint64_t retired = 0;
+};
+
+} // namespace hira
+
+#endif // HIRA_SIM_CORE_HH

@@ -1,0 +1,236 @@
+#include "sim/experiment.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace hira {
+
+Geometry
+GeomSpec::toGeometry() const
+{
+    Geometry g = Geometry::forCapacityGb(capacityGb);
+    g.channels = channels;
+    g.ranksPerChannel = ranks;
+    return g;
+}
+
+std::string
+GeomSpec::key() const
+{
+    return strprintf("c%.1f-ch%d-rk%d", capacityGb, channels, ranks);
+}
+
+std::string
+SchemeSpec::label() const
+{
+    std::string base;
+    switch (kind) {
+      case SchemeKind::NoRefresh: base = "NoRefresh"; break;
+      case SchemeKind::Baseline: base = "Baseline"; break;
+      case SchemeKind::HiraMc:
+        base = strprintf("HiRA-%d", slackN);
+        break;
+    }
+    if (paraEnabled) {
+        base += preventiveViaHira ? "+PARA(HiRA)" : "+PARA";
+    }
+    return base;
+}
+
+SystemConfig
+makeSystemConfig(const GeomSpec &geom, const SchemeSpec &scheme,
+                 const WorkloadMix &mix, std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.geom = geom.toGeometry();
+    cfg.tp = geom.toTiming();
+    cfg.mix = mix;
+    cfg.seed = seed;
+
+    double slack_ns = scheme.slackN * cfg.tp.tRC;
+
+    if (scheme.kind == SchemeKind::HiraMc ||
+        (scheme.paraEnabled && scheme.preventiveViaHira)) {
+        cfg.scheme = SchemeKind::HiraMc;
+        cfg.hira.slackN = scheme.slackN;
+        cfg.hira.periodicViaHira =
+            scheme.kind == SchemeKind::HiraMc && scheme.periodicViaHira;
+        cfg.hira.enableAccessPairing = scheme.accessPairing;
+        cfg.hira.enableRefreshPairing = scheme.refreshPairing;
+        cfg.hira.enablePullAhead = scheme.pullAhead;
+        cfg.hira.sptIsolation = scheme.sptIsolation;
+        cfg.hira.seed = hashCombine(seed, 0x517a);
+        if (scheme.paraEnabled && scheme.preventiveViaHira) {
+            cfg.hira.preventive.enabled = true;
+            // Slack-aware threshold (Section 9.1 step 4).
+            cfg.hira.preventive.pth = solvePth(
+                scheme.nrh, slackActivations(slack_ns));
+            cfg.hira.preventive.seed = hashCombine(seed, 0x9a1);
+        }
+    } else {
+        cfg.scheme = scheme.kind;
+        cfg.refPostpone = scheme.refPostpone;
+    }
+
+    if (scheme.paraEnabled && !scheme.preventiveViaHira) {
+        cfg.para.enabled = true;
+        cfg.para.pth = solvePth(scheme.nrh, 0.0);
+        cfg.para.seed = hashCombine(seed, 0x9b1);
+    }
+    return cfg;
+}
+
+RunResult
+runOne(const SystemConfig &cfg, Cycle warmup, Cycle measure)
+{
+    System sys(cfg);
+    sys.run(warmup);
+    sys.resetStats();
+    sys.run(measure);
+    RunResult r;
+    r.sys = sys.result();
+    r.ipc = r.sys.ipc;
+    return r;
+}
+
+double
+weightedSpeedup(const std::vector<double> &ipc_shared,
+                const std::vector<double> &ipc_alone)
+{
+    hira_assert(ipc_shared.size() == ipc_alone.size());
+    double ws = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+        hira_assert(ipc_alone[i] > 0.0);
+        ws += ipc_shared[i] / ipc_alone[i];
+    }
+    return ws;
+}
+
+SweepRunner::SweepRunner(const BenchKnobs &k) : knobs(k)
+{
+    mixes_ = makeMixes(knobs.mixes, 8);
+}
+
+double
+SweepRunner::aloneIpc(const std::string &bench, const GeomSpec &geom)
+{
+    std::string key = bench + "|" + geom.key();
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = aloneCache.find(key);
+        if (it != aloneCache.end())
+            return it->second;
+    }
+    SchemeSpec none;
+    none.kind = SchemeKind::NoRefresh;
+    WorkloadMix solo = {bench};
+    SystemConfig cfg =
+        makeSystemConfig(geom, none, solo, hashString(key));
+    RunResult r = runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                         static_cast<Cycle>(knobs.cycles));
+    double ipc = r.ipc[0];
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    aloneCache[key] = ipc;
+    return ipc;
+}
+
+std::vector<RunResult>
+SweepRunner::runMixes(const GeomSpec &geom, const SchemeSpec &scheme)
+{
+    std::vector<RunResult> results(mixes_.size());
+    int nthreads = std::max(1, std::min<int>(knobs.threads,
+                                             static_cast<int>(
+                                                 mixes_.size())));
+    std::vector<std::thread> workers;
+    std::atomic<std::size_t> next{0};
+    for (int t = 0; t < nthreads; ++t) {
+        workers.emplace_back([&]() {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= mixes_.size())
+                    return;
+                SystemConfig cfg = makeSystemConfig(
+                    geom, scheme, mixes_[i],
+                    hashCombine(0x9152, i));
+                results[i] =
+                    runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                           static_cast<Cycle>(knobs.cycles));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    return results;
+}
+
+void
+SweepRunner::warmAloneCache(const GeomSpec &geom)
+{
+    // Distinct benchmarks across the mixes, filled by the worker pool.
+    std::vector<std::string> benches;
+    for (const WorkloadMix &mix : mixes_) {
+        for (const std::string &b : mix) {
+            if (std::find(benches.begin(), benches.end(), b) ==
+                benches.end()) {
+                benches.push_back(b);
+            }
+        }
+    }
+    int nthreads = std::max(1, std::min<int>(knobs.threads,
+                                             static_cast<int>(
+                                                 benches.size())));
+    std::vector<std::thread> workers;
+    std::atomic<std::size_t> next{0};
+    for (int t = 0; t < nthreads; ++t) {
+        workers.emplace_back([&]() {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= benches.size())
+                    return;
+                aloneIpc(benches[i], geom);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+}
+
+double
+SweepRunner::meanWs(const GeomSpec &geom, const SchemeSpec &scheme)
+{
+    warmAloneCache(geom);
+    std::vector<RunResult> results = runMixes(geom, scheme);
+    double sum = 0.0;
+    RefreshStats agg;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::vector<double> alone;
+        for (const std::string &b : mixes_[i])
+            alone.push_back(aloneIpc(b, geom));
+        sum += weightedSpeedup(results[i].ipc, alone);
+        const RefreshStats &rs = results[i].sys.refresh;
+        agg.refCommands += rs.refCommands;
+        agg.rowRefreshes += rs.rowRefreshes;
+        agg.accessPaired += rs.accessPaired;
+        agg.refreshPaired += rs.refreshPaired;
+        agg.standalone += rs.standalone;
+        agg.deadlineMisses += rs.deadlineMisses;
+        agg.preventiveGenerated += rs.preventiveGenerated;
+    }
+    lastRefresh = agg;
+    return sum / static_cast<double>(results.size());
+}
+
+double
+SweepRunner::meanMetric(const GeomSpec &geom, const SchemeSpec &scheme,
+                        double (*metric)(const RunResult &))
+{
+    std::vector<RunResult> results = runMixes(geom, scheme);
+    double sum = 0.0;
+    for (const RunResult &r : results)
+        sum += metric(r);
+    return sum / static_cast<double>(results.size());
+}
+
+} // namespace hira

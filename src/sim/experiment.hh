@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Experiment runner for the evaluation sweeps (Sections 7-10): builds
+ * systems from compact specs, runs warmup + measurement, computes
+ * weighted speedup [31, 156] against cached single-core IPC-alone runs,
+ * and fans mixes out over a thread pool.
+ */
+
+#ifndef HIRA_SIM_EXPERIMENT_HH
+#define HIRA_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/knobs.hh"
+#include "security/para_analysis.hh"
+#include "sim/system.hh"
+
+namespace hira {
+
+/** Memory-system geometry of one experiment point. */
+struct GeomSpec
+{
+    double capacityGb = 8.0;
+    int channels = 1;
+    int ranks = 1;
+
+    Geometry toGeometry() const;
+    TimingParams toTiming() const { return ddr4_2400(capacityGb); }
+    std::string key() const;
+};
+
+/** Refresh / defense configuration of one experiment point. */
+struct SchemeSpec
+{
+    SchemeKind kind = SchemeKind::Baseline;
+    int slackN = 2;            //!< HiRA-N
+    int refPostpone = 0;       //!< elastic-refresh postponement bound
+    bool periodicViaHira = true;
+
+    bool paraEnabled = false;  //!< PARA preventive refreshes
+    double nrh = 1024.0;       //!< RowHammer threshold for pth
+    bool preventiveViaHira = false; //!< PreventiveRC vs immediate PARA
+
+    // Ablation switches.
+    bool accessPairing = true;
+    bool refreshPairing = true;
+    bool pullAhead = true;
+    double sptIsolation = 0.32;
+
+    std::string label() const;
+};
+
+/** Result of one (mix, geometry, scheme) simulation. */
+struct RunResult
+{
+    std::vector<double> ipc;
+    SystemResult sys;
+};
+
+/** Assemble a SystemConfig from the compact specs. */
+SystemConfig makeSystemConfig(const GeomSpec &geom, const SchemeSpec &scheme,
+                              const WorkloadMix &mix, std::uint64_t seed);
+
+/** Run one simulation (warmup + measurement). */
+RunResult runOne(const SystemConfig &cfg, Cycle warmup, Cycle measure);
+
+/** Weighted speedup: sum_i IPC_shared_i / IPC_alone_i. */
+double weightedSpeedup(const std::vector<double> &ipc_shared,
+                       const std::vector<double> &ipc_alone);
+
+/**
+ * Sweep driver: caches IPC-alone runs per (benchmark, geometry) and
+ * evaluates mean weighted speedup over a set of mixes with a worker
+ * pool.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const BenchKnobs &knobs);
+
+    /** The mixes this runner evaluates (knobs.mixes of the 125). */
+    const std::vector<WorkloadMix> &mixes() const { return mixes_; }
+
+    /**
+     * Mean weighted speedup of the scheme on the geometry across the
+     * runner's mixes.
+     */
+    double meanWs(const GeomSpec &geom, const SchemeSpec &scheme);
+
+    /** Mean of an arbitrary per-run metric across mixes. */
+    double meanMetric(const GeomSpec &geom, const SchemeSpec &scheme,
+                      double (*metric)(const RunResult &));
+
+    /** Last meanWs call's aggregate refresh stats (reporting). */
+    const RefreshStats &lastRefreshStats() const { return lastRefresh; }
+
+  private:
+    double aloneIpc(const std::string &bench, const GeomSpec &geom);
+    void warmAloneCache(const GeomSpec &geom);
+    std::vector<RunResult> runMixes(const GeomSpec &geom,
+                                    const SchemeSpec &scheme);
+
+    BenchKnobs knobs;
+    std::vector<WorkloadMix> mixes_;
+    std::map<std::string, double> aloneCache; //!< "bench|geom" -> IPC
+    std::mutex cacheMutex;
+    RefreshStats lastRefresh;
+};
+
+} // namespace hira
+
+#endif // HIRA_SIM_EXPERIMENT_HH

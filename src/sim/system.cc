@@ -1,0 +1,154 @@
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+
+namespace hira {
+
+std::unique_ptr<RefreshScheme>
+System::makeScheme() const
+{
+    switch (cfg.scheme) {
+      case SchemeKind::NoRefresh:
+        return std::make_unique<NoRefresh>();
+      case SchemeKind::Baseline:
+        return std::make_unique<BaselineRefresh>(cfg.refPostpone);
+      case SchemeKind::HiraMc:
+        return std::make_unique<HiraMc>(cfg.hira);
+    }
+    panic("unreachable scheme kind");
+}
+
+System::System(const SystemConfig &config)
+    : cfg(config), mapper(config.geom)
+{
+    // Controllers, one per channel.
+    for (int ch = 0; ch < cfg.geom.channels; ++ch) {
+        ControllerConfig cc;
+        cc.geom = cfg.geom;
+        cc.tp = cfg.tp;
+        cc.para = cfg.para;
+        cc.para.seed = hashCombine(cfg.seed, 0xca0 + ch);
+        // When HiRA-MC runs PreventiveRC, the controller must not also
+        // perform immediate preventive refreshes.
+        cc.paraImmediate = cfg.scheme != SchemeKind::HiraMc;
+        cc.recordTrace = cfg.recordTraces;
+        controllers.push_back(std::make_unique<MemoryController>(
+            ch, cc, makeScheme()));
+    }
+
+    // Shared LLC routes misses by channel and notifies cores on fills.
+    llc = std::make_unique<Llc>(
+        cfg.llc,
+        [this](const Request &req) { return route(req); },
+        [this](int core_id, std::uint64_t tag, Cycle) {
+            cores[static_cast<std::size_t>(core_id)]->onDataReturn(tag);
+        });
+
+    // Cores with private address-space slices.
+    std::size_t ncores = cfg.mix.size();
+    hira_assert(ncores > 0);
+    Addr slice = mapper.addressSpaceBytes() / ncores;
+    for (std::size_t i = 0; i < ncores; ++i) {
+        const BenchmarkProfile &prof = benchmarkByName(cfg.mix[i]);
+        gens.push_back(std::make_unique<TraceGen>(
+            prof, hashCombine(cfg.seed, 0xc04e + i), slice * i, slice));
+        cores.push_back(std::make_unique<CoreModel>(
+            static_cast<int>(i), *gens.back(), *llc, cfg.coreWidth,
+            cfg.windowEntries));
+    }
+}
+
+bool
+System::route(const Request &req)
+{
+    Request r = req;
+    r.da = mapper.decode(r.addr);
+    r.arrival = memCycle;
+    return controllers[static_cast<std::size_t>(r.da.channel)]->enqueue(r);
+}
+
+void
+System::run(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c) {
+        ++memCycle;
+        for (auto &ctrl : controllers) {
+            ctrl->tick(memCycle);
+            // Deliver completed reads to the LLC.
+            auto &done = ctrl->completions();
+            for (const Completion &comp : done) {
+                if (comp.at <= memCycle)
+                    llc->onMemCompletion(comp.tag, memCycle);
+            }
+            // Keep not-yet-arrived completions (data still on the bus).
+            std::size_t kept = 0;
+            for (const Completion &comp : done) {
+                if (comp.at > memCycle)
+                    done[kept++] = comp;
+            }
+            done.resize(kept);
+        }
+        llc->tick(memCycle);
+
+        // 3.2 GHz cores over a 1.2 GHz bus: 8 CPU ticks per 3 bus ticks.
+        cpuAccum += 8;
+        while (cpuAccum >= 3) {
+            cpuAccum -= 3;
+            for (auto &core : cores)
+                core->tick(memCycle);
+        }
+    }
+}
+
+void
+System::resetStats()
+{
+    for (auto &core : cores)
+        core->resetStats();
+}
+
+SystemResult
+System::result() const
+{
+    SystemResult r;
+    for (const auto &core : cores)
+        r.ipc.push_back(core->ipc());
+    for (const auto &ctrl : controllers) {
+        const ControllerStats &cs = ctrl->stats();
+        r.memReads += cs.readsServed;
+        r.memWrites += cs.writesServed;
+        r.controller.readsServed += cs.readsServed;
+        r.controller.writesServed += cs.writesServed;
+        r.controller.readLatencySum += cs.readLatencySum;
+        r.controller.acts += cs.acts;
+        r.controller.pres += cs.pres;
+        r.controller.refs += cs.refs;
+        r.controller.hiraOps += cs.hiraOps;
+        r.controller.forwards += cs.forwards;
+        r.controller.rejectedRequests += cs.rejectedRequests;
+        const RefreshStats &rs = ctrl->scheme().stats();
+        r.refresh.refCommands += rs.refCommands;
+        r.refresh.rowRefreshes += rs.rowRefreshes;
+        r.refresh.accessPaired += rs.accessPaired;
+        r.refresh.refreshPaired += rs.refreshPaired;
+        r.refresh.standalone += rs.standalone;
+        r.refresh.deadlineMisses += rs.deadlineMisses;
+        r.refresh.preventiveGenerated += rs.preventiveGenerated;
+        // HiRA-MC may run an internal baseline REF engine (Fig. 12).
+        if (const auto *hmc =
+                dynamic_cast<const HiraMc *>(&ctrl->scheme())) {
+            if (const RefreshStats *bs = hmc->baselineStats())
+                r.refresh.refCommands += bs->refCommands;
+        }
+    }
+    if (r.controller.readsServed > 0) {
+        r.avgReadLatencyCycles =
+            static_cast<double>(r.controller.readLatencySum) /
+            static_cast<double>(r.controller.readsServed);
+    }
+    r.llcHits = llc->hits;
+    r.llcMisses = llc->misses;
+    return r;
+}
+
+} // namespace hira

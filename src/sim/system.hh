@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full-system wiring: cores -> shared LLC -> per-channel memory
+ * controllers, with the 3.2 GHz core / 1.2 GHz DDR4-2400 bus clock
+ * crossing (8 CPU cycles per 3 memory cycles).
+ */
+
+#ifndef HIRA_SIM_SYSTEM_HH
+#define HIRA_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/hira_mc.hh"
+#include "dram/addrmap.hh"
+#include "mem/controller.hh"
+#include "sim/core.hh"
+#include "sim/workloads.hh"
+
+namespace hira {
+
+/** Which refresh scheme the controllers run. */
+enum class SchemeKind
+{
+    NoRefresh, //!< ideal, no periodic refresh (Fig. 9a baseline)
+    Baseline,  //!< rank-level REF every tREFI
+    HiraMc,    //!< HiRA-MC (HiRA-N via HiraMcConfig::slackN)
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    TimingParams tp = ddr4_2400(8.0);
+    SchemeKind scheme = SchemeKind::Baseline;
+    int refPostpone = 0;        //!< Baseline: max postponed REFs [161]
+    HiraMcConfig hira;          //!< used when scheme == HiraMc
+    ParaConfig para;            //!< immediate PARA (non-HiRA preventive)
+    WorkloadMix mix;            //!< benchmark per core
+    std::uint64_t seed = 1;
+    LlcConfig llc;
+    int coreWidth = 4;
+    int windowEntries = 128;
+    bool recordTraces = false;  //!< feed TimingChecker recorders
+};
+
+/** Post-run summary. */
+struct SystemResult
+{
+    std::vector<double> ipc;            //!< per core, measurement interval
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    double avgReadLatencyCycles = 0.0;
+    RefreshStats refresh;               //!< summed over channels
+    ControllerStats controller;         //!< summed over channels
+    std::uint64_t llcHits = 0, llcMisses = 0;
+};
+
+/** The simulated system. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /** Advance @p cycles memory-bus cycles. */
+    void run(Cycle cycles);
+
+    /** Reset measurement statistics (end of warmup). */
+    void resetStats();
+
+    /** Collect the post-run summary. */
+    SystemResult result() const;
+
+    MemoryController &controller(int ch) { return *controllers[ch]; }
+    int channels() const { return static_cast<int>(controllers.size()); }
+    CoreModel &core(int i) { return *cores[i]; }
+    Cycle now() const { return memCycle; }
+
+  private:
+    std::unique_ptr<RefreshScheme> makeScheme() const;
+    bool route(const Request &req);
+
+    SystemConfig cfg;
+    AddressMapper mapper;
+    std::vector<std::unique_ptr<MemoryController>> controllers;
+    std::unique_ptr<Llc> llc;
+    std::vector<std::unique_ptr<TraceGen>> gens;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+
+    Cycle memCycle = 0;
+    std::uint64_t cpuAccum = 0; //!< 8/3 clock-ratio accumulator
+};
+
+} // namespace hira
+
+#endif // HIRA_SIM_SYSTEM_HH

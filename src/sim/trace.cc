@@ -1,0 +1,51 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hira {
+
+TraceGen::TraceGen(const BenchmarkProfile &profile, std::uint64_t seed,
+                   Addr base_addr, Addr slice_bytes)
+    : prof(profile), rng(seed), base(base_addr)
+{
+    hira_assert(slice_bytes >= 64);
+    std::uint64_t slice_lines = slice_bytes / 64;
+    footprint = std::min<std::uint64_t>(prof.footprintLines, slice_lines);
+    hot = std::min<std::uint64_t>(prof.hotLines, footprint);
+    hira_assert(footprint > 0 && hot > 0);
+    streamPtr = rng.next() % footprint;
+}
+
+Addr
+TraceGen::lineAddr(std::uint64_t line_index) const
+{
+    return base + (line_index % footprint) * 64;
+}
+
+TraceInst
+TraceGen::next()
+{
+    TraceInst inst;
+    if (!rng.chance(prof.memPerInstr))
+        return inst;
+    inst.isMem = true;
+    inst.isWrite = rng.chance(prof.writeFraction);
+    double kind = rng.uniform();
+    if (kind < prof.hotFraction) {
+        // Cache-resident hot set (private caches / LLC absorb these).
+        inst.addr = lineAddr(rng.below(hot));
+    } else if (kind < prof.hotFraction + prof.streamFraction *
+                          (1.0 - prof.hotFraction)) {
+        // Sequential stream: consecutive lines, high row-buffer locality.
+        streamPtr = (streamPtr + 1) % footprint;
+        inst.addr = lineAddr(streamPtr);
+    } else {
+        // Irregular access over the full footprint.
+        inst.addr = lineAddr(rng.below(footprint));
+    }
+    return inst;
+}
+
+} // namespace hira

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic instruction-trace generation.
+ *
+ * Substitute for SPEC CPU2006 traces (DESIGN.md): each benchmark profile
+ * fixes the statistics that matter to the memory system — memory
+ * intensity, read/write mix, sequential-stream fraction (row-buffer
+ * locality), cache-resident hot-set fraction, and footprint. Each core
+ * draws an independent, seeded stream over a private slice of the
+ * physical address space (multiprogrammed workloads share nothing).
+ */
+
+#ifndef HIRA_SIM_TRACE_HH
+#define HIRA_SIM_TRACE_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hira {
+
+/** Memory-behavior profile of one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+    double memPerInstr;       //!< P(instruction accesses memory)
+    double writeFraction;     //!< of memory accesses
+    double streamFraction;    //!< sequential-stream accesses (row locality)
+    double hotFraction;       //!< accesses to the cache-resident hot set
+    std::uint64_t footprintLines; //!< total working set, 64 B lines
+    std::uint64_t hotLines;       //!< hot-set size, 64 B lines
+};
+
+/** One generated instruction. */
+struct TraceInst
+{
+    bool isMem = false;
+    bool isWrite = false;
+    Addr addr = 0; //!< line-aligned, within the core's slice
+};
+
+/** Deterministic trace generator for one core. */
+class TraceGen
+{
+  public:
+    /**
+     * @param profile benchmark statistics
+     * @param seed per-core stream seed
+     * @param base_addr start of the core's private address slice
+     * @param slice_bytes size of the slice (footprint clamps to it)
+     */
+    TraceGen(const BenchmarkProfile &profile, std::uint64_t seed,
+             Addr base_addr, Addr slice_bytes);
+
+    /** Generate the next instruction. */
+    TraceInst next();
+
+    const BenchmarkProfile &profile() const { return prof; }
+
+  private:
+    Addr lineAddr(std::uint64_t line_index) const;
+
+    BenchmarkProfile prof;
+    Rng rng;
+    Addr base;
+    std::uint64_t footprint;  //!< lines, clamped to the slice
+    std::uint64_t hot;        //!< lines
+    std::uint64_t streamPtr = 0;
+};
+
+} // namespace hira
+
+#endif // HIRA_SIM_TRACE_HH

@@ -1,0 +1,66 @@
+#include "sim/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace hira {
+
+const std::vector<BenchmarkProfile> &
+benchmarkPool()
+{
+    // {name, memPerInstr, writeFrac, streamFrac, hotFrac,
+    //  footprintLines, hotLines}
+    // Footprints are in 64 B lines (16K lines = 1 MB). Profiles span the
+    // SPEC CPU2006 spectrum from cache-resident (h264-like) to
+    // memory-bound irregular (mcf-like) and streaming (libquantum-,
+    // lbm-like) behaviors.
+    static const std::vector<BenchmarkProfile> pool = {
+        {"perlbench-like", 0.06, 0.30, 0.30, 0.92, 64 << 10, 8 << 10},
+        {"bzip2-like", 0.08, 0.35, 0.50, 0.85, 128 << 10, 12 << 10},
+        {"gcc-like", 0.10, 0.35, 0.40, 0.80, 256 << 10, 12 << 10},
+        {"mcf-like", 0.30, 0.25, 0.05, 0.35, 4096 << 10, 8 << 10},
+        {"milc-like", 0.20, 0.30, 0.70, 0.30, 2048 << 10, 4 << 10},
+        {"zeusmp-like", 0.15, 0.30, 0.60, 0.50, 1024 << 10, 8 << 10},
+        {"cactus-like", 0.14, 0.35, 0.55, 0.45, 1536 << 10, 8 << 10},
+        {"leslie3d-like", 0.18, 0.30, 0.80, 0.30, 2048 << 10, 4 << 10},
+        {"namd-like", 0.05, 0.25, 0.50, 0.95, 64 << 10, 16 << 10},
+        {"soplex-like", 0.22, 0.30, 0.45, 0.40, 3072 << 10, 8 << 10},
+        {"hmmer-like", 0.07, 0.40, 0.60, 0.90, 96 << 10, 10 << 10},
+        {"gems-like", 0.24, 0.30, 0.65, 0.30, 3072 << 10, 4 << 10},
+        {"libquantum-like", 0.25, 0.20, 0.97, 0.05, 4096 << 10, 1 << 10},
+        {"h264-like", 0.04, 0.30, 0.60, 0.95, 48 << 10, 12 << 10},
+        {"lbm-like", 0.26, 0.45, 0.90, 0.10, 4096 << 10, 2 << 10},
+        {"omnetpp-like", 0.18, 0.30, 0.10, 0.50, 1536 << 10, 16 << 10},
+        {"astar-like", 0.12, 0.30, 0.15, 0.60, 768 << 10, 12 << 10},
+        {"sphinx-like", 0.16, 0.20, 0.50, 0.55, 1024 << 10, 8 << 10},
+    };
+    return pool;
+}
+
+const BenchmarkProfile &
+benchmarkByName(const std::string &name)
+{
+    for (const BenchmarkProfile &p : benchmarkPool()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+std::vector<WorkloadMix>
+makeMixes(int count, int cores, std::uint64_t seed)
+{
+    const auto &pool = benchmarkPool();
+    Rng rng(seed);
+    std::vector<WorkloadMix> mixes;
+    mixes.reserve(static_cast<std::size_t>(count));
+    for (int m = 0; m < count; ++m) {
+        WorkloadMix mix;
+        mix.reserve(static_cast<std::size_t>(cores));
+        for (int c = 0; c < cores; ++c)
+            mix.push_back(pool[rng.below(pool.size())].name);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+} // namespace hira

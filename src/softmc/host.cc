@@ -1,0 +1,76 @@
+#include "softmc/host.hh"
+
+#include <cmath>
+
+namespace hira {
+
+double
+SoftMCHost::quantize(double ns)
+{
+    if (ns <= 0.0)
+        return 0.0;
+    return std::ceil(ns / kSlotNs - 1e-9) * kSlotNs;
+}
+
+void
+SoftMCHost::act(BankId bank, RowId row, double wait_ns)
+{
+    chip->act(bank, row, now);
+    now += quantize(wait_ns);
+}
+
+void
+SoftMCHost::pre(BankId bank, double wait_ns)
+{
+    chip->pre(bank, now);
+    now += quantize(wait_ns);
+}
+
+void
+SoftMCHost::initializeRow(BankId bank, RowId row, DataPattern p)
+{
+    act(bank, row, kRcdNs);
+    chip->writeOpenRow(bank, p, now);
+    // Remainder of tRAS after the column write, then close.
+    wait(kRasNs - kRcdNs);
+    pre(bank, kRpNs);
+}
+
+bool
+SoftMCHost::compareRow(BankId bank, RowId row, DataPattern expected)
+{
+    act(bank, row, kRcdNs);
+    bool ok = chip->openRowMatches(bank, expected, now);
+    wait(kRasNs - kRcdNs);
+    pre(bank, kRpNs);
+    return ok;
+}
+
+std::vector<std::uint8_t>
+SoftMCHost::readRow(BankId bank, RowId row)
+{
+    act(bank, row, kRcdNs);
+    std::vector<std::uint8_t> data = chip->readOpenRow(bank, now);
+    wait(kRasNs - kRcdNs);
+    pre(bank, kRpNs);
+    return data;
+}
+
+void
+SoftMCHost::hammerPair(BankId bank, RowId aggr_a, RowId aggr_b,
+                       std::uint64_t n)
+{
+    now = chip->hammerPair(bank, aggr_a, aggr_b, n, now);
+}
+
+void
+SoftMCHost::hiraOp(BankId bank, RowId row_a, RowId row_b, double t1,
+                   double t2)
+{
+    act(bank, row_a, t1);
+    pre(bank, t2);
+    act(bank, row_b, kRasNs);
+    pre(bank, kRpNs);
+}
+
+} // namespace hira

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SoftMC substitute: a host that issues precisely timed DRAM command
+ * sequences to the behavioral chip model.
+ *
+ * Mirrors the paper's testing infrastructure (Section 4.1): a modified
+ * SoftMC on an Alveo U200 that issues one DRAM command every 1.5 ns
+ * (footnote 5). Waits are therefore quantized up to the 1.5 ns grid.
+ */
+
+#ifndef HIRA_SOFTMC_HOST_HH
+#define HIRA_SOFTMC_HOST_HH
+
+#include <vector>
+
+#include "chip/dram_chip.hh"
+
+namespace hira {
+
+/** Timed command host over one DramChip. */
+class SoftMCHost
+{
+  public:
+    /** SoftMC's minimum command spacing on the Alveo U200 (footnote 5). */
+    static constexpr double kSlotNs = 1.5;
+
+    // Nominal DDR4 timings the host uses for protocol-conforming steps.
+    static constexpr double kRcdNs = 14.25;
+    static constexpr double kRasNs = 32.0;
+    static constexpr double kRpNs = 14.25;
+
+    /** The host resumes from the chip's current time. */
+    explicit SoftMCHost(DramChip &chip)
+        : chip(&chip), now(chip.currentTime())
+    {
+    }
+
+    /** Current host time (ns since construction). */
+    NanoSec time() const { return now; }
+
+    /** Round a wait up to the 1.5 ns command grid. */
+    static double quantize(double ns);
+
+    /** Advance time without issuing a command. */
+    void wait(double ns) { now += quantize(ns); }
+
+    /** Issue ACT, then wait the (quantized) delay. */
+    void act(BankId bank, RowId row, double wait_ns);
+
+    /** Issue PRE, then wait the (quantized) delay. */
+    void pre(BankId bank, double wait_ns);
+
+    /**
+     * Initialize a row with a data pattern using nominal timing:
+     * ACT, tRCD, write, tRAS residue, PRE, tRP.
+     */
+    void initializeRow(BankId bank, RowId row, DataPattern p);
+
+    /**
+     * Read a row back and compare against the expected pattern
+     * (Algorithm 1's compare_data): ACT, tRCD, compare, PRE, tRP.
+     * @return true iff no bit flip.
+     */
+    bool compareRow(BankId bank, RowId row, DataPattern expected);
+
+    /** Materialize a row's bytes with nominal timing. */
+    std::vector<std::uint8_t> readRow(BankId bank, RowId row);
+
+    /**
+     * Double-sided hammering: @p n iterations of
+     * ACT(a) tRAS PRE tRP ACT(b) tRAS PRE tRP (2n activations total).
+     */
+    void hammerPair(BankId bank, RowId aggr_a, RowId aggr_b,
+                    std::uint64_t n);
+
+    /**
+     * Perform one HiRA operation: ACT(row_a) t1 PRE t2 ACT(row_b) tRAS
+     * PRE tRP (Algorithm 1 lines 11-16, including closing both rows).
+     */
+    void hiraOp(BankId bank, RowId row_a, RowId row_b, double t1,
+                double t2);
+
+    DramChip &chipRef() { return *chip; }
+
+  private:
+    DramChip *chip;
+    NanoSec now = 0.0;
+};
+
+} // namespace hira
+
+#endif // HIRA_SOFTMC_HOST_HH

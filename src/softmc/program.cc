@@ -1,0 +1,137 @@
+#include "softmc/program.hh"
+
+namespace hira {
+
+CommandProgram &
+CommandProgram::act(BankId bank, RowId row, double wait_ns)
+{
+    SoftMCInst i;
+    i.op = SoftMCOp::Act;
+    i.bank = bank;
+    i.row = row;
+    i.waitNs = wait_ns;
+    insts.push_back(i);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::pre(BankId bank, double wait_ns)
+{
+    SoftMCInst i;
+    i.op = SoftMCOp::Pre;
+    i.bank = bank;
+    i.waitNs = wait_ns;
+    insts.push_back(i);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::writePattern(BankId bank, DataPattern p)
+{
+    SoftMCInst i;
+    i.op = SoftMCOp::WritePattern;
+    i.bank = bank;
+    i.pattern = p;
+    insts.push_back(i);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::checkPattern(BankId bank, DataPattern p)
+{
+    SoftMCInst i;
+    i.op = SoftMCOp::CheckPattern;
+    i.bank = bank;
+    i.pattern = p;
+    insts.push_back(i);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::wait(double ns)
+{
+    SoftMCInst i;
+    i.op = SoftMCOp::Wait;
+    i.waitNs = ns;
+    insts.push_back(i);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::hammerLoop(BankId bank, RowId aggr_a, RowId aggr_b,
+                           std::uint64_t n)
+{
+    SoftMCInst i;
+    i.op = SoftMCOp::HammerLoop;
+    i.bank = bank;
+    i.row = aggr_a;
+    i.row2 = aggr_b;
+    i.count = n;
+    insts.push_back(i);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::initRow(BankId bank, RowId row, DataPattern p)
+{
+    act(bank, row, SoftMCHost::kRcdNs);
+    writePattern(bank, p);
+    wait(SoftMCHost::kRasNs - SoftMCHost::kRcdNs);
+    pre(bank, SoftMCHost::kRpNs);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::verifyRow(BankId bank, RowId row, DataPattern p)
+{
+    act(bank, row, SoftMCHost::kRcdNs);
+    checkPattern(bank, p);
+    wait(SoftMCHost::kRasNs - SoftMCHost::kRcdNs);
+    pre(bank, SoftMCHost::kRpNs);
+    return *this;
+}
+
+CommandProgram &
+CommandProgram::hira(BankId bank, RowId row_a, RowId row_b, double t1,
+                     double t2)
+{
+    act(bank, row_a, t1);
+    pre(bank, t2);
+    act(bank, row_b, SoftMCHost::kRasNs);
+    pre(bank, SoftMCHost::kRpNs);
+    return *this;
+}
+
+ProgramResult
+execute(SoftMCHost &host, const CommandProgram &prog)
+{
+    ProgramResult result;
+    DramChip &chip = host.chipRef();
+    for (const SoftMCInst &i : prog.instructions()) {
+        switch (i.op) {
+          case SoftMCOp::Act:
+            host.act(i.bank, i.row, i.waitNs);
+            break;
+          case SoftMCOp::Pre:
+            host.pre(i.bank, i.waitNs);
+            break;
+          case SoftMCOp::WritePattern:
+            chip.writeOpenRow(i.bank, i.pattern, host.time());
+            break;
+          case SoftMCOp::CheckPattern:
+            result.checkResults.push_back(
+                chip.openRowMatches(i.bank, i.pattern, host.time()));
+            break;
+          case SoftMCOp::Wait:
+            host.wait(i.waitNs);
+            break;
+          case SoftMCOp::HammerLoop:
+            host.hammerPair(i.bank, i.row, i.row2, i.count);
+            break;
+        }
+    }
+    result.endTime = host.time();
+    return result;
+}
+
+} // namespace hira

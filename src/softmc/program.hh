@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SoftMC command programs: a small instruction representation for timed
+ * DRAM command sequences, mirroring how the real SoftMC host sends
+ * pre-assembled programs to the FPGA (Section 4.1).
+ *
+ * The characterization algorithms can either drive SoftMCHost directly
+ * or assemble a CommandProgram and execute it; programs make the issued
+ * sequences inspectable and testable as data.
+ */
+
+#ifndef HIRA_SOFTMC_PROGRAM_HH
+#define HIRA_SOFTMC_PROGRAM_HH
+
+#include <vector>
+
+#include "softmc/host.hh"
+
+namespace hira {
+
+/** SoftMC program opcodes. */
+enum class SoftMCOp
+{
+    Act,          //!< activate row, then wait
+    Pre,          //!< precharge bank, then wait
+    WritePattern, //!< write pattern into the open row
+    CheckPattern, //!< compare open row against pattern, record result
+    Wait,         //!< advance time
+    HammerLoop,   //!< n iterations of double-sided hammering
+};
+
+/** One SoftMC instruction. */
+struct SoftMCInst
+{
+    SoftMCOp op;
+    BankId bank = 0;
+    RowId row = 0;
+    RowId row2 = 0;           //!< second aggressor for HammerLoop
+    DataPattern pattern = DataPattern::Zeros;
+    double waitNs = 0.0;
+    std::uint64_t count = 0;  //!< HammerLoop iteration count
+};
+
+/** Result of executing a program. */
+struct ProgramResult
+{
+    std::vector<bool> checkResults; //!< one entry per CheckPattern
+    NanoSec endTime = 0.0;
+
+    bool
+    allChecksPassed() const
+    {
+        for (bool b : checkResults) {
+            if (!b)
+                return false;
+        }
+        return true;
+    }
+};
+
+/** Builder + container for a SoftMC program. */
+class CommandProgram
+{
+  public:
+    CommandProgram &act(BankId bank, RowId row, double wait_ns);
+    CommandProgram &pre(BankId bank, double wait_ns);
+    CommandProgram &writePattern(BankId bank, DataPattern p);
+    CommandProgram &checkPattern(BankId bank, DataPattern p);
+    CommandProgram &wait(double ns);
+    CommandProgram &hammerLoop(BankId bank, RowId aggr_a, RowId aggr_b,
+                               std::uint64_t n);
+
+    /** Append the canonical row-initialization sequence. */
+    CommandProgram &initRow(BankId bank, RowId row, DataPattern p);
+
+    /** Append the canonical read-back-and-compare sequence. */
+    CommandProgram &verifyRow(BankId bank, RowId row, DataPattern p);
+
+    /** Append a full HiRA operation (Algorithm 1 lines 11-16). */
+    CommandProgram &hira(BankId bank, RowId row_a, RowId row_b, double t1,
+                         double t2);
+
+    const std::vector<SoftMCInst> &instructions() const { return insts; }
+    std::size_t size() const { return insts.size(); }
+
+  private:
+    std::vector<SoftMCInst> insts;
+};
+
+/** Execute a program on a host; returns the recorded check results. */
+ProgramResult execute(SoftMCHost &host, const CommandProgram &prog);
+
+} // namespace hira
+
+#endif // HIRA_SOFTMC_PROGRAM_HH

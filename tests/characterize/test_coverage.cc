@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the HiRA coverage experiment (Algorithm 1 / Fig. 4 / §4.4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "characterize/coverage.hh"
+#include "chip/modules.hh"
+
+using namespace hira;
+
+namespace {
+
+constexpr std::uint32_t kRows = 256; // tested rows per bank (scaled down)
+
+DramChip
+makeChip(const std::string &label = "C0")
+{
+    return DramChip(moduleByLabel(label, kRows, 2).config);
+}
+
+} // namespace
+
+TEST(Coverage, PairWorksIsSymmetricallyReasonable)
+{
+    DramChip chip = makeChip();
+    SoftMCHost host(chip);
+    const auto &iso = chip.isolation();
+    const auto &cfg = chip.config();
+    int agree = 0, total = 0;
+    for (RowId a = 2; a < kRows; a += 32) {
+        for (RowId b = 10; b < kRows; b += 32) {
+            if (a == b)
+                continue;
+            bool works = hiraPairWorks(host, 0, a, b, 3.0, 3.0);
+            bool isolated = iso.isolated(cfg.subarrayOf(a),
+                                         cfg.subarrayOf(b));
+            agree += works == isolated;
+            ++total;
+        }
+    }
+    // At t1 = t2 = 3 ns the timing windows pass for every row, so pair
+    // success must coincide exactly with design isolation.
+    EXPECT_EQ(agree, total);
+}
+
+TEST(Coverage, SameRowNeverPairs)
+{
+    DramChip chip = makeChip();
+    SoftMCHost host(chip);
+    EXPECT_FALSE(hiraPairWorks(host, 0, 5, 5, 3.0, 3.0));
+}
+
+TEST(Coverage, SpreadRowsCoverAllSubarrays)
+{
+    ChipConfig cfg = moduleByLabel("C0", 1024, 2).config;
+    auto rows = spreadRows(cfg, 128);
+    EXPECT_EQ(rows.size(), 128u);
+    std::set<SubarrayId> subs;
+    for (RowId r : rows)
+        subs.insert(cfg.subarrayOf(r));
+    EXPECT_GT(subs.size(), 100u);
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_GT(rows[i], rows[i - 1]);
+}
+
+TEST(Coverage, ReferencePointMatchesPaperMean)
+{
+    // At the paper's reliable operating point (t1 = t2 = 3 ns) module C0
+    // averages ~35 % coverage (Table 4) and no row has zero coverage.
+    DramChip chip = makeChip("C0");
+    CoverageConfig cfg;
+    cfg.rows = spreadRows(chip.config(), 96);
+    CoverageResult r = measureCoverage(chip, cfg);
+    EXPECT_NEAR(r.mean(), 0.353, 0.06);
+    EXPECT_DOUBLE_EQ(r.zeroFraction(), 0.0);
+    EXPECT_GT(r.box().min, 0.15);
+}
+
+TEST(Coverage, TinyT1KillsCoverage)
+{
+    DramChip chip = makeChip("C0");
+    CoverageConfig cfg;
+    cfg.t1 = 1.5;
+    cfg.rows = spreadRows(chip.config(), 64);
+    cfg.allPatterns = false; // cheap variant for the sweep tests
+    CoverageResult r = measureCoverage(chip, cfg);
+    // Most rows cannot be paired at all (Fig. 4, observation 3).
+    EXPECT_GT(r.zeroFraction(), 0.8);
+    EXPECT_LT(r.mean(), 0.1);
+}
+
+TEST(Coverage, HugeT1KillsCoverage)
+{
+    DramChip chip = makeChip("C0");
+    CoverageConfig cfg;
+    cfg.t1 = 6.0;
+    cfg.rows = spreadRows(chip.config(), 64);
+    cfg.allPatterns = false;
+    CoverageResult r = measureCoverage(chip, cfg);
+    EXPECT_GT(r.zeroFraction(), 0.5);
+}
+
+TEST(Coverage, LargeT2ReducesButDoesNotZeroCoverage)
+{
+    DramChip chip = makeChip("C0");
+    CoverageConfig base, late;
+    base.rows = late.rows = spreadRows(chip.config(), 64);
+    base.allPatterns = late.allPatterns = false;
+    late.t2 = 6.0;
+    double m_base = measureCoverage(chip, base).mean();
+    CoverageResult r_late = measureCoverage(chip, late);
+    EXPECT_LT(r_late.mean(), m_base);
+    // Observation 1: with t1 = 3 ns no row drops to zero for any t2.
+    EXPECT_DOUBLE_EQ(r_late.zeroFraction(), 0.0);
+}
+
+TEST(Coverage, IdenticalAcrossBanks)
+{
+    // §4.4.1: the pairs HiRA can activate are identical across banks.
+    DramChip chip = makeChip("B0");
+    SoftMCHost host(chip);
+    for (RowId a = 2; a < kRows; a += 24) {
+        for (RowId b = 14; b < kRows; b += 40) {
+            if (a == b)
+                continue;
+            bool bank0 = hiraPairWorks(host, 0, a, b, 3.0, 3.0);
+            bool bank1 = hiraPairWorks(host, 1, a, b, 3.0, 3.0);
+            EXPECT_EQ(bank0, bank1) << "pair " << a << "," << b;
+        }
+    }
+}
+
+TEST(Coverage, FindHiraPartnerReturnsWorkingRow)
+{
+    DramChip chip = makeChip("C0");
+    SoftMCHost host(chip);
+    RowId partner = findHiraPartner(host, 0, 33, 3.0, 3.0);
+    ASSERT_NE(partner, kNoRow);
+    EXPECT_TRUE(hiraPairWorks(host, 0, 33, partner, 3.0, 3.0));
+}
+
+TEST(Coverage, ModuleMeansOrderedLikeTable4)
+{
+    // A0 has the lowest coverage, C1 the highest (Table 4).
+    DramChip a0 = makeChip("A0");
+    DramChip c1 = makeChip("C1");
+    CoverageConfig cfg;
+    cfg.allPatterns = false;
+    cfg.rows = spreadRows(a0.config(), 64);
+    double cov_a0 = measureCoverage(a0, cfg).mean();
+    double cov_c1 = measureCoverage(c1, cfg).mean();
+    EXPECT_LT(cov_a0, cov_c1);
+    EXPECT_NEAR(cov_a0, 0.25, 0.06);
+    EXPECT_NEAR(cov_c1, 0.384, 0.08);
+}
+
+TEST(Coverage, IgnoringVendorLooksFullCoverage)
+{
+    // On chips that ignore the violating sequence Algorithm 1 sees no
+    // corruption anywhere: apparent coverage ~100 % — the false positive
+    // §4.3 unmasks.
+    DramChip chip(nonHiraVendorConfig("micron-like", kRows, 1));
+    CoverageConfig cfg;
+    cfg.rows = spreadRows(chip.config(), 32);
+    cfg.allPatterns = false;
+    CoverageResult r = measureCoverage(chip, cfg);
+    EXPECT_GT(r.mean(), 0.95);
+}

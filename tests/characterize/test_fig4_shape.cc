@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shape tests for the Fig. 4 experiment: the qualitative structure the
+ * paper reports must hold across the (t1, t2) grid — not just at the
+ * spot-checked corners the other coverage tests exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "characterize/coverage.hh"
+#include "chip/modules.hh"
+
+using namespace hira;
+
+namespace {
+
+/** One shared grid measurement (the experiment is deterministic). */
+const std::map<std::pair<int, int>, CoverageResult> &
+grid()
+{
+    static const auto *results = [] {
+        auto *m =
+            new std::map<std::pair<int, int>, CoverageResult>();
+        DramChip chip(moduleByLabel("C0", 256, 1).config);
+        std::vector<RowId> rows = spreadRows(chip.config(), 48);
+        const double steps[4] = {1.5, 3.0, 4.5, 6.0};
+        for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+                CoverageConfig cfg;
+                cfg.t1 = steps[i];
+                cfg.t2 = steps[j];
+                cfg.rows = rows;
+                cfg.allPatterns = false;
+                (*m)[{i, j}] = measureCoverage(chip, cfg);
+            }
+        }
+        return m;
+    }();
+    return *results;
+}
+
+} // namespace
+
+TEST(Fig4Shape, ReliableT1ValuesHaveNoZeroCoverageRows)
+{
+    // Observation 1: for t1 in {3, 4.5} ns, every row pairs with at
+    // least one other row for every tested t2.
+    for (int i : {1, 2}) {
+        for (int j = 0; j < 4; ++j) {
+            EXPECT_DOUBLE_EQ(grid().at({i, j}).zeroFraction(), 0.0)
+                << "t1 index " << i << " t2 index " << j;
+        }
+    }
+}
+
+TEST(Fig4Shape, ExtremeT1ValuesCollapseCoverage)
+{
+    // Observation 3: t1 = 1.5 or 6 ns leaves rows with zero coverage.
+    for (int i : {0, 3}) {
+        for (int j = 0; j < 4; ++j) {
+            EXPECT_GT(grid().at({i, j}).zeroFraction(), 0.5)
+                << "t1 index " << i << " t2 index " << j;
+        }
+    }
+}
+
+TEST(Fig4Shape, BestOperatingPointIsMidGrid)
+{
+    // Observation 2: the (3, 3) / (3, 4.5) points give the highest mean
+    // coverage of the grid.
+    double best = std::max(grid().at({1, 1}).mean(),
+                           grid().at({1, 2}).mean());
+    for (const auto &[key, result] : grid())
+        EXPECT_LE(result.mean(), best + 1e-12);
+    EXPECT_NEAR(best, 0.33, 0.08);
+}
+
+TEST(Fig4Shape, LargeT2ReducesCoverageMonotonically)
+{
+    // At reliable t1, t2 = 6 ns trims the per-row coverage relative to
+    // the 3/4.5 ns mid-points (second activation window).
+    for (int i : {1, 2}) {
+        EXPECT_LT(grid().at({i, 3}).mean(), grid().at({i, 1}).mean());
+        EXPECT_LE(grid().at({i, 0}).mean(),
+                  grid().at({i, 1}).mean() + 1e-12);
+    }
+}
+
+TEST(Fig4Shape, BoxesAreInternallyConsistent)
+{
+    for (const auto &[key, result] : grid()) {
+        BoxStats b = result.box();
+        EXPECT_LE(b.min, b.q1);
+        EXPECT_LE(b.q1, b.median);
+        EXPECT_LE(b.median, b.q3);
+        EXPECT_LE(b.q3, b.max);
+        EXPECT_GE(b.mean, b.min);
+        EXPECT_LE(b.mean, b.max);
+    }
+}
+
+TEST(Fig4Shape, T2SymmetricAcrossReliableT1)
+{
+    // Row-A timing windows pass for every row at both t1 = 3 and 4.5 ns,
+    // so the coverage surface is identical across those two columns.
+    for (int j = 0; j < 4; ++j) {
+        EXPECT_DOUBLE_EQ(grid().at({1, j}).mean(),
+                         grid().at({2, j}).mean());
+    }
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the RowHammer-threshold verification experiment
+ * (Algorithm 2, §4.3, §4.4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "characterize/coverage.hh"
+#include "characterize/rowhammer.hh"
+#include "chip/modules.hh"
+
+using namespace hira;
+
+namespace {
+
+constexpr std::uint32_t kRows = 256;
+
+DramChip
+makeChip(const std::string &label = "C0")
+{
+    return DramChip(moduleByLabel(label, kRows, 2).config);
+}
+
+} // namespace
+
+TEST(RowHammer, TestOnceFlipsAtHighCount)
+{
+    DramChip chip = makeChip();
+    SoftMCHost host(chip);
+    RhConfig cfg;
+    RowId victim = 100;
+    RowId dummy = findHiraPartner(host, 0, victim, 3.0, 3.0);
+    ASSERT_NE(dummy, kNoRow);
+    EXPECT_TRUE(rhTestOnce(host, cfg, victim, dummy, 200000, false));
+    EXPECT_FALSE(rhTestOnce(host, cfg, victim, dummy, 8000, false));
+}
+
+TEST(RowHammer, ThresholdNearBase)
+{
+    DramChip chip = makeChip();
+    SoftMCHost host(chip);
+    RhConfig cfg;
+    RowId victim = 100;
+    RowId dummy = findHiraPartner(host, 0, victim, 3.0, 3.0);
+    std::uint64_t thr = measureThreshold(host, cfg, victim, dummy, false);
+    double base = chip.variation().nrhBase(victim);
+    EXPECT_NEAR(static_cast<double>(thr), base, base * 0.25);
+}
+
+TEST(RowHammer, HiraRoughlyDoublesThreshold)
+{
+    DramChip chip = makeChip();
+    SoftMCHost host(chip);
+    RhConfig cfg;
+    RowId victim = 100;
+    RowId dummy = findHiraPartner(host, 0, victim, 3.0, 3.0);
+    ASSERT_NE(dummy, kNoRow);
+    std::uint64_t without = measureThreshold(host, cfg, victim, dummy,
+                                             false);
+    std::uint64_t with = measureThreshold(host, cfg, victim, dummy, true);
+    double norm = static_cast<double>(with) / static_cast<double>(without);
+    EXPECT_GT(norm, 1.4);
+    EXPECT_LT(norm, 2.7);
+}
+
+TEST(RowHammer, VictimRowsAvoidEdges)
+{
+    ChipConfig cfg = moduleByLabel("C0", kRows, 1).config;
+    auto rows = victimRows(cfg, 64);
+    for (RowId r : rows) {
+        EXPECT_GT(r, 0u);
+        EXPECT_LT(r + 1, cfg.rowsPerBank);
+    }
+}
+
+TEST(RowHammer, NormalizedDistributionMatchesSection43)
+{
+    // §4.3: ~1.9x mean, >1.7x for the vast majority of rows; Fig. 5a
+    // absolute thresholds average ~27.2K without HiRA.
+    DramChip chip = makeChip("C0");
+    auto victims = victimRows(chip.config(), 24);
+    NormalizedNrhResult r = measureNormalizedNrh(chip, 0, victims);
+    EXPECT_NEAR(r.normalized.mean(), 1.9, 0.25);
+    EXPECT_GT(r.normalized.fractionAbove(1.5), 0.85);
+    EXPECT_NEAR(r.absoluteWithout.mean(), 27200.0, 8000.0);
+    EXPECT_GT(r.absoluteWith.mean(), r.absoluteWithout.mean() * 1.5);
+}
+
+TEST(RowHammer, IgnoringVendorShowsNoThresholdChange)
+{
+    // §4.3's whole purpose: on chips that ignore HiRA's second ACT the
+    // victim is not refreshed, so the threshold does not move.
+    DramChip chip(nonHiraVendorConfig("samsung-like", kRows, 1));
+    auto victims = victimRows(chip.config(), 8);
+    NormalizedNrhResult r = measureNormalizedNrh(chip, 0, victims);
+    EXPECT_NEAR(r.normalized.mean(), 1.0, 0.15);
+}
+
+TEST(RowHammer, BankVariationWithinFig6Bounds)
+{
+    // §4.4.2 / Fig. 6: per-bank mean normalized NRH in ~[1.6, 2.2] and
+    // never below 1.56x.
+    DramChip chip = makeChip("B0");
+    auto victims = victimRows(chip.config(), 10);
+    for (BankId bank : {BankId(0), BankId(1)}) {
+        NormalizedNrhResult r = measureNormalizedNrh(chip, bank, victims);
+        EXPECT_GT(r.normalized.mean(), 1.6) << "bank " << bank;
+        EXPECT_LT(r.normalized.mean(), 2.2) << "bank " << bank;
+    }
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the design-level subarray isolation map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/design.hh"
+#include "chip/modules.hh"
+
+using namespace hira;
+
+namespace {
+
+ChipConfig
+smallConfig()
+{
+    ChipConfig cfg;
+    cfg.seed = 1234;
+    cfg.rowsPerBank = 1024;
+    cfg.subarraysPerBank = 128;
+    cfg.pairIsolationMean = 0.33;
+    cfg.pairIsolationSpread = 0.05;
+    return cfg;
+}
+
+} // namespace
+
+TEST(IsolationMap, Symmetric)
+{
+    IsolationMap iso(smallConfig());
+    for (SubarrayId a = 0; a < 128; a += 7) {
+        for (SubarrayId b = 0; b < 128; b += 5)
+            EXPECT_EQ(iso.isolated(a, b), iso.isolated(b, a));
+    }
+}
+
+TEST(IsolationMap, NeverSelfIsolated)
+{
+    IsolationMap iso(smallConfig());
+    for (SubarrayId a = 0; a < 128; ++a)
+        EXPECT_FALSE(iso.isolated(a, a));
+}
+
+TEST(IsolationMap, AdjacentSubarraysShareSenseAmps)
+{
+    // Open-bitline architecture: adjacent subarrays can never pair.
+    IsolationMap iso(smallConfig());
+    for (SubarrayId a = 0; a + 1 < 128; ++a)
+        EXPECT_FALSE(iso.isolated(a, a + 1));
+}
+
+TEST(IsolationMap, MeanFractionNearTarget)
+{
+    IsolationMap iso(smallConfig());
+    EXPECT_NEAR(iso.meanIsolatedFraction(), 0.33, 0.04);
+}
+
+TEST(IsolationMap, DeterministicForSameSeed)
+{
+    IsolationMap a(smallConfig()), b(smallConfig());
+    for (SubarrayId s = 0; s < 128; ++s)
+        EXPECT_DOUBLE_EQ(a.isolatedFraction(s), b.isolatedFraction(s));
+}
+
+TEST(IsolationMap, DifferentSeedsDiffer)
+{
+    ChipConfig c1 = smallConfig();
+    ChipConfig c2 = smallConfig();
+    c2.seed = 9999;
+    IsolationMap a(c1), b(c2);
+    int diff = 0;
+    for (SubarrayId s = 0; s < 128; s += 3) {
+        for (SubarrayId t = 0; t < 128; t += 3)
+            diff += a.isolated(s, t) != b.isolated(s, t);
+    }
+    EXPECT_GT(diff, 50);
+}
+
+TEST(IsolationMap, RowsMapThroughSubarrays)
+{
+    ChipConfig cfg = smallConfig();
+    IsolationMap iso(cfg);
+    // Rows in the same subarray are never isolated from each other.
+    EXPECT_FALSE(iso.rowsIsolated(0, 1));
+    // Row isolation must agree with the subarray map.
+    RowId a = 5, b = 600;
+    EXPECT_EQ(iso.rowsIsolated(a, b),
+              iso.isolated(cfg.subarrayOf(a), cfg.subarrayOf(b)));
+}
+
+TEST(IsolationMap, PartnersMatchMatrix)
+{
+    IsolationMap iso(smallConfig());
+    auto partners = iso.partnersOf(10);
+    EXPECT_FALSE(partners.empty());
+    for (SubarrayId p : partners)
+        EXPECT_TRUE(iso.isolated(10, p));
+    EXPECT_NEAR(static_cast<double>(partners.size()) / 127.0,
+                iso.isolatedFraction(10), 0.01);
+}
+
+TEST(IsolationMap, ModuleCatalogCoversTable4)
+{
+    auto modules = hiraModules(1024, 16);
+    ASSERT_EQ(modules.size(), 7u);
+    EXPECT_EQ(modules[0].label, "A0");
+    EXPECT_EQ(modules[4].label, "C0");
+    for (const auto &m : modules) {
+        IsolationMap iso(m.config);
+        EXPECT_NEAR(iso.meanIsolatedFraction(), m.paper.covAvg, 0.05)
+            << m.label;
+        EXPECT_TRUE(m.config.honorsHira);
+    }
+}
+
+TEST(IsolationMap, NonHiraVendorConfig)
+{
+    ChipConfig cfg = nonHiraVendorConfig("micron-like", 1024, 16);
+    EXPECT_FALSE(cfg.honorsHira);
+}

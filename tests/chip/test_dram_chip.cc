@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the behavioral chip model: normal operation, every HiRA
+ * failure mode, vendor-ignore behavior, RowHammer accumulation and
+ * restoration, and retention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/dram_chip.hh"
+
+using namespace hira;
+
+namespace {
+
+constexpr double kRcd = 14.25, kRas = 32.0, kRp = 14.25;
+
+ChipConfig
+testConfig(bool honors = true)
+{
+    ChipConfig cfg;
+    cfg.name = "test";
+    cfg.seed = 777;
+    cfg.banks = 2;
+    cfg.rowsPerBank = 1024;
+    cfg.subarraysPerBank = 128; // 8 rows per subarray
+    cfg.honorsHira = honors;
+    cfg.pairIsolationMean = 0.5;
+    return cfg;
+}
+
+/** Find a row pair that is design-isolated with mid-window timings. */
+std::pair<RowId, RowId>
+isolatedPair(const DramChip &chip)
+{
+    const auto &iso = chip.isolation();
+    const auto &cfg = chip.config();
+    for (RowId a = 8; a < cfg.rowsPerBank; a += 8) {
+        for (RowId b = a + 24; b < cfg.rowsPerBank; b += 8) {
+            if (iso.rowsIsolated(a, b))
+                return {a, b};
+        }
+    }
+    ADD_FAILURE() << "no isolated pair found";
+    return {0, 0};
+}
+
+std::pair<RowId, RowId>
+sharedPair(const DramChip &chip)
+{
+    const auto &cfg = chip.config();
+    // Same subarray: guaranteed to share sense amplifiers.
+    (void)chip;
+    return {RowId(16), RowId(16 + cfg.rowsPerSubarray() / 2)};
+}
+
+/** Open, write, close a row with nominal timing. */
+NanoSec
+initRow(DramChip &chip, BankId bank, RowId row, DataPattern p, NanoSec t)
+{
+    chip.act(bank, row, t);
+    chip.writeOpenRow(bank, p, t + kRcd);
+    chip.pre(bank, t + kRas);
+    return t + kRas + kRp;
+}
+
+/** Open, compare, close. */
+bool
+checkRow(DramChip &chip, BankId bank, RowId row, DataPattern p, NanoSec &t)
+{
+    chip.act(bank, row, t);
+    bool ok = chip.openRowMatches(bank, p, t + kRcd);
+    chip.pre(bank, t + kRas);
+    t += kRas + kRp;
+    return ok;
+}
+
+/** Full HiRA with given t1/t2, then close. */
+NanoSec
+doHira(DramChip &chip, BankId bank, RowId a, RowId b, double t1, double t2,
+       NanoSec t)
+{
+    chip.act(bank, a, t);
+    chip.pre(bank, t + t1);
+    chip.act(bank, b, t + t1 + t2);
+    chip.pre(bank, t + t1 + t2 + kRas);
+    return t + t1 + t2 + kRas + kRp;
+}
+
+} // namespace
+
+TEST(DramChip, NormalWriteReadBack)
+{
+    DramChip chip(testConfig());
+    NanoSec t = initRow(chip, 0, 100, DataPattern::Checker, 0.0);
+    EXPECT_TRUE(checkRow(chip, 0, 100, DataPattern::Checker, t));
+    EXPECT_FALSE(checkRow(chip, 0, 100, DataPattern::Ones, t));
+}
+
+TEST(DramChip, UninitializedRowNeverMatches)
+{
+    DramChip chip(testConfig());
+    NanoSec t = 0.0;
+    EXPECT_FALSE(checkRow(chip, 0, 5, DataPattern::Zeros, t));
+}
+
+TEST(DramChip, ReadRowMaterializesPattern)
+{
+    DramChip chip(testConfig());
+    NanoSec t = initRow(chip, 0, 100, DataPattern::Checker, 0.0);
+    chip.act(0, 100, t);
+    auto data = chip.readOpenRow(0, t + kRcd);
+    chip.pre(0, t + kRas);
+    ASSERT_EQ(data.size(), chip.config().rowBytes);
+    for (auto byte : data)
+        EXPECT_EQ(byte, 0xAA);
+}
+
+TEST(DramChip, EarlyPreCorruptsRow)
+{
+    // PRE before restoration completes destroys the row (tRAS exists for
+    // a reason). The fate is decided when the precharge runs to term.
+    DramChip chip(testConfig());
+    NanoSec t = initRow(chip, 0, 200, DataPattern::Ones, 0.0);
+    chip.act(0, 200, t);
+    chip.pre(0, t + 10.0);          // way before restore completes
+    NanoSec t2 = t + 10.0 + 30.0;   // precharge runs to term
+    EXPECT_FALSE(checkRow(chip, 0, 200, DataPattern::Ones, t2));
+    EXPECT_GT(chip.stats().interruptedRestores, 0u);
+}
+
+TEST(DramChip, HiraSuccessPreservesBothRows)
+{
+    DramChip chip(testConfig());
+    auto [a, b] = isolatedPair(chip);
+    NanoSec t = initRow(chip, 0, a, DataPattern::Checker, 0.0);
+    t = initRow(chip, 0, b, DataPattern::InvChecker, t);
+    t = doHira(chip, 0, a, b, 3.0, 3.0, t);
+    EXPECT_TRUE(checkRow(chip, 0, a, DataPattern::Checker, t));
+    EXPECT_TRUE(checkRow(chip, 0, b, DataPattern::InvChecker, t));
+    EXPECT_EQ(chip.stats().hiraSuccess, 1u);
+}
+
+TEST(DramChip, HiraSharedSubarrayCorruptsData)
+{
+    DramChip chip(testConfig());
+    auto [a, b] = sharedPair(chip);
+    NanoSec t = initRow(chip, 0, a, DataPattern::Checker, 0.0);
+    t = initRow(chip, 0, b, DataPattern::InvChecker, t);
+    t = doHira(chip, 0, a, b, 3.0, 3.0, t);
+    bool a_ok = checkRow(chip, 0, a, DataPattern::Checker, t);
+    bool b_ok = checkRow(chip, 0, b, DataPattern::InvChecker, t);
+    EXPECT_FALSE(a_ok && b_ok);
+    EXPECT_GT(chip.stats().hiraNotIsolated, 0u);
+}
+
+TEST(DramChip, HiraTinyT1CorruptsFirstRow)
+{
+    // t1 = 1.5 ns: sense amps not yet enabled for (almost) any row.
+    DramChip chip(testConfig());
+    auto [a, b] = isolatedPair(chip);
+    // Pick a row whose saEnable is definitely above 1.5 ns.
+    ASSERT_GT(chip.variation().saEnable(a), 1.5);
+    NanoSec t = initRow(chip, 0, a, DataPattern::Ones, 0.0);
+    t = initRow(chip, 0, b, DataPattern::Zeros, t);
+    t = doHira(chip, 0, a, b, 1.5, 3.0, t);
+    EXPECT_FALSE(checkRow(chip, 0, a, DataPattern::Ones, t));
+    EXPECT_GT(chip.stats().hiraBadT1, 0u);
+}
+
+TEST(DramChip, HiraHugeT1CorruptsFirstRow)
+{
+    DramChip chip(testConfig());
+    auto [a, b] = isolatedPair(chip);
+    ASSERT_LT(chip.variation().ioConnect(a), 6.5);
+    NanoSec t = initRow(chip, 0, a, DataPattern::Ones, 0.0);
+    t = initRow(chip, 0, b, DataPattern::Zeros, t);
+    t = doHira(chip, 0, a, b, 6.5, 3.0, t);
+    EXPECT_FALSE(checkRow(chip, 0, a, DataPattern::Ones, t));
+}
+
+TEST(DramChip, HiraLateSecondActIsNormalReopen)
+{
+    // If the second ACT arrives after the precharge completed, there is
+    // no HiRA: the first row was closed early (corrupting it) and the
+    // second row opens normally.
+    DramChip chip(testConfig());
+    auto [a, b] = isolatedPair(chip);
+    NanoSec t = initRow(chip, 0, a, DataPattern::Ones, 0.0);
+    t = initRow(chip, 0, b, DataPattern::Zeros, t);
+    chip.act(0, a, t);
+    chip.pre(0, t + 3.0);
+    chip.act(0, b, t + 3.0 + 20.0); // t2 = 20 ns > interrupt window
+    chip.pre(0, t + 3.0 + 20.0 + kRas);
+    NanoSec t3 = t + 3.0 + 20.0 + kRas + kRp;
+    EXPECT_FALSE(checkRow(chip, 0, a, DataPattern::Ones, t3));
+    EXPECT_TRUE(checkRow(chip, 0, b, DataPattern::Zeros, t3));
+    EXPECT_EQ(chip.stats().hiraAttempts, 0u);
+}
+
+TEST(DramChip, IgnoringVendorLeavesDataIntact)
+{
+    // Micron/Samsung-like chips ignore the violating PRE and the second
+    // ACT: no corruption, but no second activation either (the
+    // Algorithm 1 false positive the paper's §4.3 exists to unmask).
+    DramChip chip(testConfig(/*honors=*/false));
+    auto [a, b] = isolatedPair(chip);
+    NanoSec t = initRow(chip, 0, a, DataPattern::Ones, 0.0);
+    t = initRow(chip, 0, b, DataPattern::Zeros, t);
+    t = doHira(chip, 0, a, b, 3.0, 3.0, t);
+    EXPECT_TRUE(checkRow(chip, 0, a, DataPattern::Ones, t));
+    EXPECT_TRUE(checkRow(chip, 0, b, DataPattern::Zeros, t));
+    EXPECT_EQ(chip.stats().hiraAttempts, 0u);
+    EXPECT_GT(chip.stats().ignoredPre, 0u);
+    EXPECT_GT(chip.stats().ignoredAct, 0u);
+}
+
+TEST(DramChip, HammeringFlipsVictimPastThreshold)
+{
+    DramChip chip(testConfig());
+    RowId victim = 500;
+    NanoSec t = initRow(chip, 0, victim, DataPattern::Checker, 0.0);
+    t = initRow(chip, 0, victim - 1, DataPattern::InvChecker, t);
+    t = initRow(chip, 0, victim + 1, DataPattern::InvChecker, t);
+    double nrh = chip.variation().nrhBase(victim);
+    // Hammer to 1.3x the base threshold: must flip.
+    std::uint64_t n = static_cast<std::uint64_t>(nrh * 1.3 / 2.0);
+    t = chip.hammerPair(0, victim - 1, victim + 1, n, t);
+    EXPECT_FALSE(checkRow(chip, 0, victim, DataPattern::Checker, t));
+}
+
+TEST(DramChip, HammeringBelowThresholdIsHarmless)
+{
+    DramChip chip(testConfig());
+    RowId victim = 500;
+    NanoSec t = initRow(chip, 0, victim, DataPattern::Checker, 0.0);
+    t = initRow(chip, 0, victim - 1, DataPattern::InvChecker, t);
+    t = initRow(chip, 0, victim + 1, DataPattern::InvChecker, t);
+    double nrh = chip.variation().nrhBase(victim);
+    std::uint64_t n = static_cast<std::uint64_t>(nrh * 0.6 / 2.0);
+    t = chip.hammerPair(0, victim - 1, victim + 1, n, t);
+    EXPECT_TRUE(checkRow(chip, 0, victim, DataPattern::Checker, t));
+}
+
+TEST(DramChip, RefreshBetweenHammerPhasesRaisesTolerance)
+{
+    // The mechanism behind §4.3: a mid-attack refresh (here a plain
+    // re-activation of the victim) removes most accumulated disturbance.
+    DramChip chip(testConfig());
+    // Pick a victim whose restoration efficacy is high enough that the
+    // post-refresh residual stays clearly below the threshold.
+    RowId victim = 450;
+    while (chip.variation().eta(0, victim) < 0.9)
+        ++victim;
+    double nrh = chip.variation().nrhBase(victim);
+    std::uint64_t half = static_cast<std::uint64_t>(nrh * 0.70 / 2.0);
+
+    // 1.4x the threshold in one go: flips.
+    NanoSec t = initRow(chip, 0, victim, DataPattern::Checker, 0.0);
+    t = initRow(chip, 0, victim - 1, DataPattern::InvChecker, t);
+    t = initRow(chip, 0, victim + 1, DataPattern::InvChecker, t);
+    t = chip.hammerPair(0, victim - 1, victim + 1, 2 * half, t);
+    EXPECT_FALSE(checkRow(chip, 0, victim, DataPattern::Checker, t));
+
+    // Same count split by a victim refresh: survives.
+    t = initRow(chip, 0, victim, DataPattern::Checker, t);
+    t = chip.hammerPair(0, victim - 1, victim + 1, half, t);
+    chip.act(0, victim, t);
+    chip.pre(0, t + kRas);
+    t += kRas + kRp;
+    t = chip.hammerPair(0, victim - 1, victim + 1, half, t);
+    EXPECT_TRUE(checkRow(chip, 0, victim, DataPattern::Checker, t));
+}
+
+TEST(DramChip, HiraSecondActRefreshesVictim)
+{
+    // HiRA's second ACT (targeting the victim) must act as a refresh.
+    DramChip chip(testConfig());
+    auto [dummy, victim] = isolatedPair(chip);
+    if (victim + 1 >= chip.config().rowsPerBank)
+        victim -= 8;
+    // Walk within the victim's subarray to a high-efficacy row.
+    while (chip.variation().eta(0, victim) < 0.9)
+        ++victim;
+    ASSERT_TRUE(chip.isolation().rowsIsolated(dummy, victim));
+    double nrh = chip.variation().nrhBase(victim);
+    std::uint64_t half = static_cast<std::uint64_t>(nrh * 0.70 / 2.0);
+    NanoSec t = initRow(chip, 0, victim, DataPattern::Checker, 0.0);
+    t = initRow(chip, 0, dummy, DataPattern::InvChecker, t);
+    t = initRow(chip, 0, victim - 1, DataPattern::InvChecker, t);
+    t = initRow(chip, 0, victim + 1, DataPattern::InvChecker, t);
+    t = chip.hammerPair(0, victim - 1, victim + 1, half, t);
+    t = doHira(chip, 0, dummy, victim, 3.0, 3.0, t);
+    t = chip.hammerPair(0, victim - 1, victim + 1, half, t);
+    EXPECT_TRUE(checkRow(chip, 0, victim, DataPattern::Checker, t));
+}
+
+TEST(DramChip, DamageAccumulatesOnBothNeighbors)
+{
+    DramChip chip(testConfig());
+    NanoSec t = 0.0;
+    chip.act(0, 300, t);
+    chip.pre(0, t + kRas);
+    EXPECT_DOUBLE_EQ(chip.damageOf(0, 299), 1.0);
+    EXPECT_DOUBLE_EQ(chip.damageOf(0, 301), 1.0);
+    EXPECT_DOUBLE_EQ(chip.damageOf(0, 300), 0.0);
+}
+
+TEST(DramChip, EdgeRowHasOneNeighbor)
+{
+    DramChip chip(testConfig());
+    chip.act(0, 0, 0.0);
+    chip.pre(0, kRas);
+    EXPECT_DOUBLE_EQ(chip.damageOf(0, 1), 1.0);
+}
+
+TEST(DramChip, BanksAreIndependent)
+{
+    DramChip chip(testConfig());
+    NanoSec t = initRow(chip, 0, 100, DataPattern::Ones, 0.0);
+    NanoSec t1 = initRow(chip, 1, 100, DataPattern::Zeros, 0.0);
+    EXPECT_TRUE(checkRow(chip, 0, 100, DataPattern::Ones, t));
+    EXPECT_TRUE(checkRow(chip, 1, 100, DataPattern::Zeros, t1));
+}
+
+TEST(DramChip, RetentionFailureWithoutRefresh)
+{
+    DramChip chip(testConfig());
+    NanoSec t = initRow(chip, 0, 100, DataPattern::Ones, 0.0);
+    // Within the retention time: fine. After a long unrefreshed gap: not.
+    NanoSec soon = t + 1e6; // +1 ms
+    chip.act(0, 100, soon);
+    EXPECT_TRUE(chip.openRowMatches(0, DataPattern::Ones, soon + kRcd));
+    chip.pre(0, soon + kRas);
+    NanoSec late = soon + kRas + kRp + 5e9; // +5 s unrefreshed
+    chip.act(0, 100, late);
+    EXPECT_FALSE(chip.openRowMatches(0, DataPattern::Ones, late + kRcd));
+    chip.pre(0, late + kRas);
+}
+
+TEST(DramChip, HiraOnlySecondRowStaysOpen)
+{
+    // After HiRA only RowB's buffer is connected: the open row is RowB.
+    DramChip chip(testConfig());
+    auto [a, b] = isolatedPair(chip);
+    NanoSec t = initRow(chip, 0, a, DataPattern::Ones, 0.0);
+    t = initRow(chip, 0, b, DataPattern::Zeros, t);
+    chip.act(0, a, t);
+    chip.pre(0, t + 3.0);
+    chip.act(0, b, t + 6.0);
+    EXPECT_EQ(chip.openRow(0), b);
+    chip.pre(0, t + 6.0 + kRas);
+}

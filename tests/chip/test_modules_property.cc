@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Parameterized property tests over the full Table 1/4 module catalog:
+ * every module's measured coverage and normalized NRH land in the
+ * paper's band, pairs are identical across banks, and the reliable
+ * operating point never corrupts data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "characterize/coverage.hh"
+#include "characterize/rowhammer.hh"
+#include "chip/modules.hh"
+
+using namespace hira;
+
+class ModuleProperty : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static constexpr std::uint32_t kRows = 256;
+
+    DramChip
+    chip(std::uint32_t banks = 2) const
+    {
+        return DramChip(moduleByLabel(GetParam(), kRows, banks).config);
+    }
+};
+
+TEST_P(ModuleProperty, CoverageMeanWithinPaperBand)
+{
+    DramChip c = chip();
+    ModuleInfo info = moduleByLabel(GetParam(), kRows, 2);
+    CoverageConfig cfg;
+    cfg.rows = spreadRows(c.config(), 64);
+    cfg.allPatterns = false;
+    double mean = measureCoverage(c, cfg).mean();
+    EXPECT_NEAR(mean, info.paper.covAvg, 0.07) << GetParam();
+}
+
+TEST_P(ModuleProperty, NoZeroCoverageRowsAtReliablePoint)
+{
+    DramChip c = chip();
+    CoverageConfig cfg;
+    cfg.rows = spreadRows(c.config(), 64);
+    cfg.allPatterns = false;
+    EXPECT_DOUBLE_EQ(measureCoverage(c, cfg).zeroFraction(), 0.0);
+}
+
+TEST_P(ModuleProperty, NormalizedNrhNearTwoMinusEta)
+{
+    DramChip c = chip(1);
+    ModuleInfo info = moduleByLabel(GetParam(), kRows, 1);
+    auto r = measureNormalizedNrh(c, 0, victimRows(c.config(), 10));
+    EXPECT_NEAR(r.normalized.mean(), info.paper.nrhAvg, 0.22)
+        << GetParam();
+}
+
+TEST_P(ModuleProperty, PairSetIdenticalAcrossBanks)
+{
+    DramChip c = chip(2);
+    SoftMCHost host(c);
+    for (RowId a = 4; a < kRows; a += 48) {
+        for (RowId b = 20; b < kRows; b += 56) {
+            if (a == b)
+                continue;
+            EXPECT_EQ(hiraPairWorks(host, 0, a, b, 3.0, 3.0, false),
+                      hiraPairWorks(host, 1, a, b, 3.0, 3.0, false))
+                << GetParam() << " pair " << a << "," << b;
+        }
+    }
+}
+
+TEST_P(ModuleProperty, SuccessfulPairsNeverCorrupt)
+{
+    // Determinism of the reliable point: repeating a working pair many
+    // times never flips a bit (the paper's ten-iteration criterion).
+    DramChip c = chip(1);
+    SoftMCHost host(c);
+    RowId partner = findHiraPartner(host, 0, 40, 3.0, 3.0);
+    ASSERT_NE(partner, kNoRow) << GetParam();
+    for (int iter = 0; iter < 10; ++iter) {
+        EXPECT_TRUE(hiraPairWorks(host, 0, 40, partner, 3.0, 3.0))
+            << GetParam() << " iteration " << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModules, ModuleProperty,
+                         ::testing::Values("A0", "A1", "B0", "B1", "C0",
+                                           "C1", "C2"));

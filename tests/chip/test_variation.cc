@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the per-row variation sampler: determinism, bounds, and the
+ * distributions the Fig. 4 / Fig. 5 behaviors rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/variation.hh"
+
+using namespace hira;
+
+namespace {
+
+ChipConfig
+cfg()
+{
+    ChipConfig c;
+    c.seed = 42;
+    c.rowsPerBank = 4096;
+    return c;
+}
+
+} // namespace
+
+TEST(Variation, Deterministic)
+{
+    Variation a(cfg()), b(cfg());
+    for (RowId r = 0; r < 100; ++r) {
+        EXPECT_DOUBLE_EQ(a.saEnable(r), b.saEnable(r));
+        EXPECT_DOUBLE_EQ(a.nrhBase(r), b.nrhBase(r));
+    }
+}
+
+TEST(Variation, SaEnableWindowSupportsT1Of3ns)
+{
+    // At t1 = 3 ns every row's sense amps are enabled (no zero-coverage
+    // rows, §4.2 observation 1); at t1 = 1.5 ns almost none are.
+    Variation v(cfg());
+    int ok3 = 0, ok15 = 0;
+    for (RowId r = 0; r < 2000; ++r) {
+        double sa = v.saEnable(r);
+        EXPECT_GE(sa, 2.2 - 0.71);
+        EXPECT_LE(sa, 2.2 + 0.71);
+        ok3 += sa <= 3.0;
+        ok15 += sa <= 1.5;
+    }
+    EXPECT_EQ(ok3, 2000);
+    EXPECT_LT(ok15, 2000 / 10);
+}
+
+TEST(Variation, IoConnectWindowRejectsT1Of6ns)
+{
+    // t1 = 6 ns exceeds most rows' row-buffer connect time.
+    Variation v(cfg());
+    int ok45 = 0, ok6 = 0;
+    for (RowId r = 0; r < 2000; ++r) {
+        double io = v.ioConnect(r);
+        ok45 += 4.5 <= io;
+        ok6 += 6.0 <= io;
+    }
+    EXPECT_EQ(ok45, 2000);   // t1 = 4.5 ns works for all rows
+    EXPECT_LT(ok6, 2000 / 5); // t1 = 6 ns fails for most
+}
+
+TEST(Variation, T2WindowsCoverMidRange)
+{
+    Variation v(cfg());
+    for (RowId r = 0; r < 2000; ++r) {
+        EXPECT_LE(v.bLow(r), 3.0);  // t2 = 3 ns is above every lower bound
+        EXPECT_GE(v.bLow(r), 0.0);
+        EXPECT_GE(v.bHigh(r), 4.5); // t2 = 4.5 ns below every upper bound
+    }
+}
+
+TEST(Variation, RestoreTimeBelowTras)
+{
+    // Every row completes restoration within nominal tRAS (32 ns).
+    Variation v(cfg());
+    for (RowId r = 0; r < 2000; ++r) {
+        EXPECT_LE(v.restoreTime(r), 32.0);
+        EXPECT_GE(v.restoreTime(r), 20.0);
+    }
+}
+
+TEST(Variation, EtaBoundsAndBankBias)
+{
+    Variation v(cfg());
+    double bank_mean[2] = {0.0, 0.0};
+    for (RowId r = 0; r < 2000; ++r) {
+        for (BankId b : {BankId(0), BankId(1)}) {
+            double e = v.eta(b, r);
+            EXPECT_GE(e, 0.75);
+            EXPECT_LE(e, 1.0);
+            bank_mean[b] += e;
+        }
+    }
+    // Bank bias makes per-bank means differ measurably but mildly.
+    double diff = std::abs(bank_mean[0] - bank_mean[1]) / 2000.0;
+    EXPECT_LT(diff, 0.09);
+}
+
+TEST(Variation, NrhDistributionMatchesFig5a)
+{
+    // Fig. 5a: thresholds roughly 10K-80K, mean ~27.2K.
+    Variation v(cfg());
+    double sum = 0.0;
+    double lo = 1e9, hi = 0.0;
+    const int n = 4000;
+    for (RowId r = 0; r < n; ++r) {
+        double t = v.nrhBase(r);
+        sum += t;
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+    }
+    EXPECT_NEAR(sum / n, 27200.0, 3000.0);
+    EXPECT_GT(lo, 8000.0);
+    EXPECT_LT(hi, 90000.0);
+}
+
+TEST(Variation, SessionNoiseIsSmallAndCentered)
+{
+    Variation v(cfg());
+    double base = v.nrhBase(77);
+    double sum = 0.0;
+    for (std::uint64_t s = 0; s < 500; ++s) {
+        double e = v.nrhEffective(0, 77, s);
+        EXPECT_NEAR(e, base, base * 0.16);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / 500.0, base, base * 0.02);
+}
+
+TEST(Variation, RetentionAboveTestDurations)
+{
+    // Section 4.1: tests are kept under ~10 ms so retention never
+    // interferes; the weakest row must still be above that.
+    Variation v(cfg());
+    for (RowId r = 0; r < 2000; ++r)
+        EXPECT_GT(v.retentionMs(0, r), 20.0);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for environment-variable bench knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/knobs.hh"
+
+using namespace hira;
+
+TEST(Knobs, FallbackWhenUnset)
+{
+    unsetenv("HIRA_TEST_KNOB");
+    EXPECT_EQ(envKnob("HIRA_TEST_KNOB", 42), 42);
+    EXPECT_DOUBLE_EQ(envKnobDouble("HIRA_TEST_KNOB", 1.5), 1.5);
+}
+
+TEST(Knobs, ParsesInteger)
+{
+    setenv("HIRA_TEST_KNOB", "1234", 1);
+    EXPECT_EQ(envKnob("HIRA_TEST_KNOB", 0), 1234);
+    unsetenv("HIRA_TEST_KNOB");
+}
+
+TEST(Knobs, ParsesDouble)
+{
+    setenv("HIRA_TEST_KNOB", "0.25", 1);
+    EXPECT_DOUBLE_EQ(envKnobDouble("HIRA_TEST_KNOB", 0.0), 0.25);
+    unsetenv("HIRA_TEST_KNOB");
+}
+
+TEST(Knobs, GarbageFallsBack)
+{
+    setenv("HIRA_TEST_KNOB", "not-a-number", 1);
+    EXPECT_EQ(envKnob("HIRA_TEST_KNOB", 7), 7);
+    unsetenv("HIRA_TEST_KNOB");
+}
+
+TEST(Knobs, EmptyFallsBack)
+{
+    setenv("HIRA_TEST_KNOB", "", 1);
+    EXPECT_EQ(envKnob("HIRA_TEST_KNOB", 7), 7);
+    unsetenv("HIRA_TEST_KNOB");
+}
+
+TEST(Knobs, BenchKnobsDefaults)
+{
+    unsetenv("HIRA_MIXES");
+    unsetenv("HIRA_CYCLES");
+    unsetenv("HIRA_WARMUP");
+    unsetenv("HIRA_ROWS");
+    unsetenv("HIRA_THREADS");
+    BenchKnobs k = BenchKnobs::fromEnv();
+    EXPECT_EQ(k.mixes, 6);
+    EXPECT_EQ(k.cycles, 150000);
+    EXPECT_EQ(k.warmup, 30000);
+    EXPECT_EQ(k.rows, 256);
+    EXPECT_GT(k.threads, 0);
+}
+
+TEST(Knobs, BenchKnobsOverride)
+{
+    setenv("HIRA_MIXES", "125", 1);
+    setenv("HIRA_ROWS", "6144", 1);
+    BenchKnobs k = BenchKnobs::fromEnv();
+    EXPECT_EQ(k.mixes, 125);
+    EXPECT_EQ(k.rows, 6144);
+    unsetenv("HIRA_MIXES");
+    unsetenv("HIRA_ROWS");
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the statistics helpers, including the paper's
+ * box-and-whiskers conventions (footnote 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace hira;
+
+namespace {
+
+SampleSet
+makeSet(std::initializer_list<double> vals)
+{
+    SampleSet s;
+    for (double v : vals)
+        s.add(v);
+    return s;
+}
+
+} // namespace
+
+TEST(SampleSet, MeanAndStddev)
+{
+    auto s = makeSet({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(SampleSet, MinMax)
+{
+    auto s = makeSet({3.0, -1.0, 7.5});
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(SampleSet, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(makeSet({1, 2, 3}).quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(makeSet({1, 2, 3, 4}).quantile(0.5), 2.5);
+}
+
+TEST(SampleSet, QuartilesMedianOfHalves)
+{
+    // Footnote 6: Q1 = median of lower half, Q3 = median of upper half.
+    auto s = makeSet({1, 2, 3, 4, 5, 6, 7, 8});
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+    EXPECT_DOUBLE_EQ(s.quantile(0.75), 6.5);
+    auto odd = makeSet({1, 2, 3, 4, 5, 6, 7});
+    EXPECT_DOUBLE_EQ(odd.quantile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(odd.quantile(0.75), 6.0);
+}
+
+TEST(SampleSet, BoxSummary)
+{
+    auto s = makeSet({1, 2, 3, 4, 5, 6, 7, 8});
+    BoxStats b = s.box();
+    EXPECT_DOUBLE_EQ(b.min, 1.0);
+    EXPECT_DOUBLE_EQ(b.max, 8.0);
+    EXPECT_DOUBLE_EQ(b.median, 4.5);
+    EXPECT_DOUBLE_EQ(b.iqr(), 4.0);
+    EXPECT_EQ(b.count, 8u);
+    EXPECT_FALSE(b.str().empty());
+}
+
+TEST(SampleSet, QuantileExtremes)
+{
+    auto s = makeSet({5, 1, 9});
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 9.0);
+}
+
+TEST(SampleSet, FractionAbove)
+{
+    auto s = makeSet({1.0, 1.7, 1.8, 2.0});
+    EXPECT_DOUBLE_EQ(s.fractionAbove(1.7), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(5.0), 0.0);
+}
+
+TEST(SampleSet, MergeSets)
+{
+    auto a = makeSet({1, 2});
+    auto b = makeSet({3, 4});
+    a.add(b);
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    std::vector<double> vals = {0.1, 0.1, 0.55, 0.9, -5.0, 99.0};
+    auto bins = histogram(vals, 0.0, 1.0, 4);
+    ASSERT_EQ(bins.size(), 4u);
+    EXPECT_EQ(bins[0].count, 3u); // 0.1, 0.1, clamped -5.0
+    EXPECT_EQ(bins[2].count, 1u); // 0.55
+    EXPECT_EQ(bins[3].count, 2u); // 0.9, clamped 99.0
+    double total = 0.0;
+    for (const auto &b : bins)
+        total += b.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, EdgesCoverRange)
+{
+    auto bins = histogram({0.5}, 0.0, 2.0, 4);
+    EXPECT_DOUBLE_EQ(bins.front().lo, 0.0);
+    EXPECT_DOUBLE_EQ(bins.back().hi, 2.0);
+}
+
+TEST(Histogram, SparklineShape)
+{
+    auto bins = histogram({0.1, 0.1, 0.1, 0.9}, 0.0, 1.0, 2);
+    std::string s = sparkline(bins);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s[0], '#'); // peak bin renders at max level
+}
+
+TEST(Histogram, EmptySamples)
+{
+    auto bins = histogram({}, 0.0, 1.0, 3);
+    for (const auto &b : bins) {
+        EXPECT_EQ(b.count, 0u);
+        EXPECT_DOUBLE_EQ(b.fraction, 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for HiRA-MC's hardware components: Refresh Table, RefPtr
+ * Table, PR-FIFO, and SPT (Section 5's four structures).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pr_fifo.hh"
+#include "core/refptr_table.hh"
+#include "core/refresh_table.hh"
+#include "core/spt.hh"
+
+using namespace hira;
+
+TEST(RefreshTable, InsertAndEarliestByDeadline)
+{
+    RefreshTable t(8);
+    std::uint64_t id1, id2, id3;
+    t.insert(300, 0, 2, RefreshType::Periodic, &id1);
+    t.insert(100, 0, 2, RefreshType::Preventive, &id2);
+    t.insert(200, 0, 5, RefreshType::Periodic, &id3);
+    ASSERT_NE(t.earliestForBank(0, 2), nullptr);
+    EXPECT_EQ(t.earliestForBank(0, 2)->id, id2);
+    EXPECT_EQ(t.earliestForRank(0)->id, id2);
+    EXPECT_EQ(t.earliestForBank(0, 5)->id, id3);
+    EXPECT_EQ(t.earliestForBank(0, 9), nullptr);
+}
+
+TEST(RefreshTable, RankSeparation)
+{
+    RefreshTable t(8);
+    t.insert(100, 1, 3, RefreshType::Periodic);
+    EXPECT_EQ(t.earliestForRank(0), nullptr);
+    ASSERT_NE(t.earliestForRank(1), nullptr);
+}
+
+TEST(RefreshTable, PairCandidateSameBankOnly)
+{
+    RefreshTable t(8);
+    std::uint64_t id1, id2, id3;
+    t.insert(100, 0, 2, RefreshType::Periodic, &id1);
+    t.insert(150, 0, 2, RefreshType::Preventive, &id2);
+    t.insert(120, 0, 3, RefreshType::Periodic, &id3);
+    const RefreshEntry *first = t.earliestForBank(0, 2);
+    const RefreshEntry *pair = t.pairCandidate(*first);
+    ASSERT_NE(pair, nullptr);
+    EXPECT_EQ(pair->id, id2);
+    // Bank 3's lone entry has no pair.
+    EXPECT_EQ(t.pairCandidate(*t.earliestForBank(0, 3)), nullptr);
+}
+
+TEST(RefreshTable, RemoveById)
+{
+    RefreshTable t(8);
+    std::uint64_t id;
+    t.insert(100, 0, 1, RefreshType::Periodic, &id);
+    EXPECT_TRUE(t.remove(id));
+    EXPECT_FALSE(t.remove(id));
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(RefreshTable, OverflowCounted)
+{
+    RefreshTable t(2);
+    EXPECT_TRUE(t.insert(1, 0, 0, RefreshType::Periodic));
+    EXPECT_TRUE(t.insert(2, 0, 0, RefreshType::Periodic));
+    EXPECT_FALSE(t.insert(3, 0, 0, RefreshType::Periodic));
+    EXPECT_EQ(t.overflows(), 1u);
+    EXPECT_EQ(t.size(), 3u); // entry still stored
+}
+
+TEST(RefPtrTable, PeekPrefersLeastRefreshedSubarray)
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    SubarrayPairsTable spt(geom, 0.5, 99);
+    RefPtrTable rp(16, geom.subarraysPerBank, 512);
+    RefPtrPick first = rp.peek(0, kAnySubarray, spt);
+    ASSERT_TRUE(first.valid());
+    rp.advance(0, first.subarray);
+    RefPtrPick second = rp.peek(0, kAnySubarray, spt);
+    ASSERT_TRUE(second.valid());
+    EXPECT_NE(second.subarray, first.subarray);
+}
+
+TEST(RefPtrTable, PairConstraintRespectsSpt)
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    SubarrayPairsTable spt(geom, 0.32, 99);
+    RefPtrTable rp(16, geom.subarraysPerBank, 512);
+    SubarrayId partner = 10;
+    for (int i = 0; i < 50; ++i) {
+        RefPtrPick p = rp.peek(3, partner, spt);
+        ASSERT_TRUE(p.valid());
+        EXPECT_TRUE(spt.isolated(p.subarray, partner));
+        rp.advance(3, p.subarray);
+    }
+}
+
+TEST(RefPtrTable, PointerWrapsWithinSubarray)
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    SubarrayPairsTable spt(geom, 1.0, 99);
+    RefPtrTable rp(16, geom.subarraysPerBank, 4); // 4 groups/subarray
+    for (int i = 0; i < 5; ++i)
+        rp.advance(0, 7);
+    EXPECT_EQ(rp.pointer(0, 7), 1u); // 5 mod 4
+    EXPECT_EQ(rp.windowCount(0, 7), 5u);
+    rp.resetWindow();
+    EXPECT_EQ(rp.windowCount(0, 7), 0u);
+    EXPECT_EQ(rp.pointer(0, 7), 1u); // pointer survives window reset
+}
+
+TEST(RefPtrTable, BalancedAdvanceAcrossSubarrays)
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    SubarrayPairsTable spt(geom, 1.0, 99);
+    RefPtrTable rp(16, geom.subarraysPerBank, 512);
+    // Repeatedly refreshing with the min-count policy visits every
+    // subarray once before any repeats.
+    std::set<SubarrayId> seen;
+    for (std::uint32_t i = 0; i < geom.subarraysPerBank; ++i) {
+        RefPtrPick p = rp.peek(0, kAnySubarray, spt);
+        EXPECT_EQ(seen.count(p.subarray), 0u);
+        seen.insert(p.subarray);
+        rp.advance(0, p.subarray);
+    }
+    EXPECT_EQ(seen.size(), geom.subarraysPerBank);
+}
+
+TEST(PrFifo, FifoOrderAndSecond)
+{
+    PrFifoSet f(16);
+    EXPECT_TRUE(f.empty(3));
+    f.push(3, 100);
+    f.push(3, 200);
+    EXPECT_EQ(f.front(3), 100u);
+    EXPECT_EQ(f.second(3), 200u);
+    f.pop(3);
+    EXPECT_EQ(f.front(3), 200u);
+    EXPECT_EQ(f.second(3), kNoRow);
+}
+
+TEST(PrFifo, OverflowBeyondDepth)
+{
+    PrFifoSet f(16, 4);
+    for (RowId r = 0; r < 4; ++r)
+        EXPECT_TRUE(f.push(2, r));
+    EXPECT_TRUE(f.full(2));
+    EXPECT_FALSE(f.push(2, 99));
+    EXPECT_EQ(f.overflows(), 1u);
+    EXPECT_EQ(f.size(2), 5u);
+}
+
+TEST(PrFifo, BanksIndependent)
+{
+    PrFifoSet f(16);
+    f.push(0, 1);
+    EXPECT_TRUE(f.empty(1));
+    EXPECT_FALSE(f.empty(0));
+}
+
+TEST(Spt, IsolationDensityMatchesAssumption)
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    SubarrayPairsTable spt(geom, 0.32, 0x5b7a);
+    EXPECT_NEAR(spt.map().meanIsolatedFraction(), 0.32, 0.04);
+}
+
+TEST(Spt, RowToSubarrayMapping)
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    SubarrayPairsTable spt(geom, 0.32, 1);
+    EXPECT_EQ(spt.subarrayOf(0), 0u);
+    EXPECT_EQ(spt.subarrayOf(511), 0u);
+    EXPECT_EQ(spt.subarrayOf(512), 1u);
+    EXPECT_EQ(spt.rowsPerSubarray(), 512u);
+}
+
+TEST(Spt, AnySubarrayIsWildcard)
+{
+    Geometry geom = Geometry::forCapacityGb(8.0);
+    SubarrayPairsTable spt(geom, 0.32, 1);
+    EXPECT_TRUE(spt.isolated(kAnySubarray, 5));
+    EXPECT_TRUE(spt.isolated(5, kAnySubarray));
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the MOP address mapper: bijection across geometries
+ * (parameterized), MOP block locality, and channel interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "dram/addrmap.hh"
+
+using namespace hira;
+
+namespace {
+
+Geometry
+makeGeom(int channels, int ranks, double capacity_gb)
+{
+    Geometry g = Geometry::forCapacityGb(capacity_gb);
+    g.channels = channels;
+    g.ranksPerChannel = ranks;
+    return g;
+}
+
+} // namespace
+
+class AddrMapParam
+    : public ::testing::TestWithParam<std::tuple<int, int, double>>
+{
+};
+
+TEST_P(AddrMapParam, DecodeEncodeBijection)
+{
+    auto [channels, ranks, cap] = GetParam();
+    AddressMapper map(makeGeom(channels, ranks, cap));
+    Rng rng(hashCombine(static_cast<std::uint64_t>(channels),
+                        static_cast<std::uint64_t>(ranks)));
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = rng.next() % map.addressSpaceBytes();
+        a &= ~Addr(63); // line aligned
+        DramAddr da = map.decode(a);
+        EXPECT_EQ(map.encode(da), a);
+        EXPECT_LT(da.channel, channels);
+        EXPECT_LT(da.rank, ranks);
+        EXPECT_LT(da.bank, 16u);
+        EXPECT_LT(da.row, map.geometry().rowsPerBank);
+        EXPECT_LT(da.col, map.geometry().colsPerRow);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AddrMapParam,
+    ::testing::Values(std::make_tuple(1, 1, 8.0),
+                      std::make_tuple(2, 1, 8.0),
+                      std::make_tuple(4, 2, 8.0),
+                      std::make_tuple(8, 8, 8.0),
+                      std::make_tuple(1, 1, 2.0),
+                      std::make_tuple(1, 1, 32.0),
+                      std::make_tuple(2, 4, 128.0)));
+
+TEST(AddrMap, MopBlockStaysInOneRow)
+{
+    AddressMapper map(makeGeom(2, 1, 8.0));
+    // Four consecutive cache lines (one MOP block) share the row/bank.
+    DramAddr first = map.decode(0);
+    for (Addr a = 64; a < 4 * 64; a += 64) {
+        DramAddr da = map.decode(a);
+        EXPECT_EQ(da.channel, first.channel);
+        EXPECT_EQ(da.bank, first.bank);
+        EXPECT_EQ(da.row, first.row);
+        EXPECT_NE(da.col, first.col);
+    }
+}
+
+TEST(AddrMap, NextMopBlockSwitchesChannel)
+{
+    AddressMapper map(makeGeom(2, 1, 8.0));
+    DramAddr block0 = map.decode(0);
+    DramAddr block1 = map.decode(4 * 64);
+    EXPECT_NE(block0.channel, block1.channel);
+}
+
+TEST(AddrMap, StreamTouchesAllBanks)
+{
+    Geometry g = makeGeom(1, 1, 8.0);
+    AddressMapper map(g);
+    std::vector<bool> seen(16, false);
+    // One MOP block per bank: 16 blocks of 4 lines.
+    for (Addr a = 0; a < 16 * 4 * 64; a += 64)
+        seen[map.decode(a).bank] = true;
+    for (int b = 0; b < 16; ++b)
+        EXPECT_TRUE(seen[static_cast<std::size_t>(b)]) << "bank " << b;
+}
+
+TEST(AddrMap, WrapsAddressSpace)
+{
+    AddressMapper map(makeGeom(1, 1, 8.0));
+    Addr space = map.addressSpaceBytes();
+    EXPECT_EQ(map.decode(space + 128).row, map.decode(128).row);
+    EXPECT_EQ(map.decode(space + 128).col, map.decode(128).col);
+}
+
+TEST(AddrMap, SubLineBitsIgnoredByCoordinates)
+{
+    AddressMapper map(makeGeom(1, 1, 8.0));
+    DramAddr a = map.decode(4096);
+    DramAddr b = map.decode(4096 + 17);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.col, b.col);
+    EXPECT_EQ(a.bank, b.bank);
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the DDR5-4800 preset and its interaction with the timing
+ * machinery (the paper's Section 2.3 notes DDR5 halves tREFI/tREFW).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing_state.hh"
+
+using namespace hira;
+
+TEST(Ddr5, PresetHalvesRefreshWindow)
+{
+    TimingParams d4 = ddr4_2400(16.0);
+    TimingParams d5 = ddr5_4800(16.0);
+    EXPECT_DOUBLE_EQ(d5.tREFI, d4.tREFI / 2.0);
+    EXPECT_DOUBLE_EQ(d5.tREFW, d4.tREFW / 2.0);
+}
+
+TEST(Ddr5, DoubleClock)
+{
+    TimingParams d5 = ddr5_4800();
+    EXPECT_NEAR(d5.tCK, 1.0 / 2.4, 1e-12);
+    // 3 ns on the 2.4 GHz clock is 8 cycles (still on the command grid).
+    EXPECT_EQ(d5.cycles(3.0), 8u);
+}
+
+TEST(Ddr5, HiraHeadlineHoldsOnDdr5)
+{
+    // The 51.4 % two-row latency reduction is set by tRAS/tRP/t1/t2,
+    // which barely move across generations.
+    TimingParams d5 = ddr5_4800();
+    EXPECT_NEAR(d5.hiraLatencyReduction(), 0.51, 0.02);
+}
+
+TEST(Ddr5, TimingModelRunsOnDdr5)
+{
+    Geometry geom = Geometry::forCapacityGb(16.0);
+    TimingParams d5 = ddr5_4800(16.0);
+    ChannelTimingModel model(geom, d5);
+    const TimingCycles &tc = model.cycles();
+    model.issueAct(0, 0, 5, 0);
+    EXPECT_EQ(model.earliestRd(0, 0), tc.rcd);
+    Cycle second = model.issueHira(0, 1, 7, 9,
+                                   model.earliestHira(0, 1));
+    EXPECT_EQ(second, model.earliestHira(0, 1) == 0
+                          ? tc.hiraSpan()
+                          : second);
+    EXPECT_EQ(model.openRow(0, 1), 9u);
+}
+
+TEST(Ddr5, RefreshIntervalCyclesConsistent)
+{
+    TimingParams d5 = ddr5_4800();
+    TimingCycles tc(d5);
+    // 3.9 us at 2.4 GHz = 9360 cycles (same count as DDR4's 7.8 us at
+    // 1.2 GHz, by construction of the standards).
+    EXPECT_EQ(tc.refi, 9360u);
+}

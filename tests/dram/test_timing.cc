@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for DDR4 timing parameters, cycle conversion, the Expression-1
+ * tRFC capacity scaling, and the Section-4.2 headline latency arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dram/timing.hh"
+
+using namespace hira;
+
+TEST(Timing, DefaultsMatchTable3)
+{
+    TimingParams tp;
+    EXPECT_DOUBLE_EQ(tp.tRC, 46.25);
+    EXPECT_DOUBLE_EQ(tp.tRAS, 32.0);
+    EXPECT_DOUBLE_EQ(tp.tRP, 14.25);
+    EXPECT_DOUBLE_EQ(tp.tFAW, 16.0);
+    EXPECT_DOUBLE_EQ(tp.t1, 3.0);
+    EXPECT_DOUBLE_EQ(tp.t2, 3.0);
+    EXPECT_DOUBLE_EQ(tp.tREFI, 7800.0);
+}
+
+TEST(Timing, CycleConversionRoundsUp)
+{
+    TimingParams tp;
+    // tCK = 0.8333 ns: 3 ns -> 4 cycles, 14.25 ns -> 18 cycles.
+    EXPECT_EQ(tp.cycles(3.0), 4u);
+    EXPECT_EQ(tp.cycles(14.25), 18u);
+    EXPECT_EQ(tp.cycles(0.0), 0u);
+    // Exact multiples must not round up an extra cycle.
+    EXPECT_EQ(tp.cycles(tp.tCK * 10), 10u);
+}
+
+TEST(Timing, NsRoundTrip)
+{
+    TimingParams tp;
+    EXPECT_NEAR(tp.ns(12), 10.0, 1e-9);
+}
+
+TEST(Timing, Expression1RfcScaling)
+{
+    // tRFC = 110 * C^0.6 (paper Expression 1).
+    EXPECT_NEAR(TimingParams::scaledRfc(8.0), 110.0 * std::pow(8.0, 0.6),
+                1e-9);
+    EXPECT_NEAR(TimingParams::scaledRfc(8.0), 383.0, 1.0);
+    EXPECT_NEAR(TimingParams::scaledRfc(128.0), 2026.0, 5.0);
+    EXPECT_NEAR(TimingParams::scaledRfc(2.0), 166.7, 1.0);
+}
+
+TEST(Timing, RfcGrowsSublinearly)
+{
+    double r8 = TimingParams::scaledRfc(8.0);
+    double r16 = TimingParams::scaledRfc(16.0);
+    EXPECT_GT(r16, r8);
+    EXPECT_LT(r16, 2.0 * r8);
+}
+
+TEST(Timing, SetCapacityAppliesRfc)
+{
+    TimingParams tp;
+    tp.setCapacityGb(32.0);
+    EXPECT_NEAR(tp.tRFC, TimingParams::scaledRfc(32.0), 1e-9);
+    EXPECT_EQ(ddr4_2400(32.0).tRFC, tp.tRFC);
+}
+
+TEST(Timing, Section42HeadlineLatencies)
+{
+    TimingParams tp;
+    // Two rows with nominal commands: 2*tRAS + tRP = 78.25 ns.
+    EXPECT_NEAR(tp.nominalTwoRowRefreshNs(), 78.25, 1e-9);
+    // With HiRA: t1 + t2 + tRAS = 38 ns.
+    EXPECT_NEAR(tp.hiraTwoRowRefreshNs(), 38.0, 1e-9);
+    // Headline: 51.4 % reduction.
+    EXPECT_NEAR(tp.hiraLatencyReduction(), 0.514, 0.001);
+}
+
+TEST(Timing, BaselineRefreshOverheadFractionAt128Gb)
+{
+    // The rank is blocked tRFC out of every tREFI; at 128 Gb that is
+    // ~26 %, the first-order source of the paper's 26.3 % (Fig. 9a).
+    TimingParams tp = ddr4_2400(128.0);
+    double blocked = tp.tRFC / tp.tREFI;
+    EXPECT_NEAR(blocked, 0.26, 0.01);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Property tests: any command stream scheduled at ChannelTimingModel's
+ * own earliest-issue times must audit clean under TimingChecker, across
+ * generations (DDR4/DDR5), capacities, and rank counts, with randomized
+ * interleavings of ACT/RD/WR/PRE/REF/HiRA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "dram/timing_checker.hh"
+#include "dram/timing_state.hh"
+
+using namespace hira;
+
+namespace {
+
+struct Driver
+{
+    Geometry geom;
+    TimingParams tp;
+    ChannelTimingModel model;
+    TimingChecker checker;
+    std::vector<Command> trace;
+    Cycle bus = 0;
+    Rng rng;
+
+    Driver(const Geometry &g, const TimingParams &t, std::uint64_t seed)
+        : geom(g), tp(t), model(g, t), checker(g, t), rng(seed)
+    {
+    }
+
+    Cycle
+    slot(Cycle earliest)
+    {
+        return std::max(earliest, bus + 1);
+    }
+
+    void
+    push(CommandType type, Cycle cycle, int rank, BankId bank, RowId row,
+         HiraRole role = HiraRole::None)
+    {
+        Command c;
+        c.type = type;
+        c.cycle = cycle;
+        c.rank = rank;
+        c.bank = bank;
+        c.row = row;
+        c.hiraRole = role;
+        trace.push_back(c);
+        bus = std::max(bus, cycle);
+    }
+
+    /** One random legal step on a random bank. */
+    void
+    step()
+    {
+        int rank = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(geom.ranksPerChannel)));
+        BankId bank = static_cast<BankId>(rng.below(16));
+        RowId row = static_cast<RowId>(rng.below(512));
+        const TimingCycles &tc = model.cycles();
+
+        if (model.openRow(rank, bank) != kNoRow) {
+            switch (rng.below(3)) {
+              case 0: {
+                Cycle t = slot(model.earliestRd(rank, bank));
+                model.issueRd(rank, bank, t);
+                push(CommandType::RD, t, rank, bank,
+                     model.openRow(rank, bank));
+                break;
+              }
+              case 1: {
+                Cycle t = slot(model.earliestWr(rank, bank));
+                model.issueWr(rank, bank, t);
+                push(CommandType::WR, t, rank, bank,
+                     model.openRow(rank, bank));
+                break;
+              }
+              default: {
+                Cycle t = slot(model.earliestPre(rank, bank));
+                model.issuePre(rank, bank, t);
+                push(CommandType::PRE, t, rank, bank, 0);
+                break;
+              }
+            }
+            return;
+        }
+
+        switch (rng.below(3)) {
+          case 0: {
+            Cycle t = slot(model.earliestAct(rank, bank));
+            model.issueAct(rank, bank, row, t);
+            push(CommandType::ACT, t, rank, bank, row);
+            break;
+          }
+          case 1: {
+            // HiRA refresh pair: two rows, the second stays open.
+            Cycle t = slot(model.earliestHira(rank, bank));
+            Cycle second = model.issueHira(rank, bank, row, row + 1, t);
+            push(CommandType::ACT, t, rank, bank, row,
+                 HiraRole::FirstAct);
+            push(CommandType::PRE, t + tc.c1, rank, bank, 0,
+                 HiraRole::CutPre);
+            push(CommandType::ACT, second, rank, bank, row + 1,
+                 HiraRole::SecondAct);
+            break;
+          }
+          default: {
+            // All-bank REF once every bank in the rank is closed.
+            bool all_closed = true;
+            for (BankId b = 0; b < 16; ++b)
+                all_closed = all_closed && model.bankClosed(rank, b);
+            if (all_closed) {
+                Cycle t = slot(model.earliestRef(rank));
+                model.issueRef(rank, t);
+                push(CommandType::REF, t, rank, 0, 0);
+            }
+            break;
+          }
+        }
+    }
+};
+
+} // namespace
+
+class TimingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, int, bool>>
+{
+};
+
+TEST_P(TimingPropertyTest, ModelScheduledStreamAuditsClean)
+{
+    auto [capacity, ranks, ddr5] = GetParam();
+    Geometry g = Geometry::forCapacityGb(capacity);
+    g.ranksPerChannel = ranks;
+    TimingParams tp = ddr5 ? ddr5_4800(capacity) : ddr4_2400(capacity);
+    Driver d(g, tp, hashCombine(static_cast<std::uint64_t>(ranks),
+                                static_cast<std::uint64_t>(capacity)));
+    for (int i = 0; i < 600; ++i)
+        d.step();
+    // HiRA records future commands: sort before auditing.
+    std::stable_sort(d.trace.begin(), d.trace.end(),
+                     [](const Command &a, const Command &b) {
+                         return a.cycle < b.cycle;
+                     });
+    auto violations = d.checker.check(d.trace);
+    ASSERT_GT(d.trace.size(), 500u);
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violations, first: "
+        << (violations.empty() ? "" : violations[0].message);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TimingPropertyTest,
+    ::testing::Values(std::make_tuple(8.0, 1, false),
+                      std::make_tuple(8.0, 2, false),
+                      std::make_tuple(8.0, 4, false),
+                      std::make_tuple(2.0, 1, false),
+                      std::make_tuple(32.0, 2, false),
+                      std::make_tuple(128.0, 1, false),
+                      std::make_tuple(16.0, 1, true),
+                      std::make_tuple(16.0, 4, true)));

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the 22 nm SRAM model and the Table 2 cost breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/sram_model.hh"
+
+using namespace hira;
+
+TEST(SramModel, AreaMonotonicInEntriesAndBits)
+{
+    double a1 = estimateSram(64, 16).areaMm2;
+    double a2 = estimateSram(128, 16).areaMm2;
+    double a3 = estimateSram(128, 32).areaMm2;
+    EXPECT_LT(a1, a2);
+    EXPECT_LT(a2, a3);
+}
+
+TEST(SramModel, LatencyMonotonicInEntries)
+{
+    EXPECT_LT(estimateSram(64, 16).accessNs,
+              estimateSram(4096, 16).accessNs);
+}
+
+TEST(SramModel, Table2RefreshTable)
+{
+    auto cost = hiraMcCost();
+    // Paper: 0.00031 mm^2, 0.07 ns.
+    EXPECT_NEAR(cost.refreshTable.sram.areaMm2, 0.00031, 0.00015);
+    EXPECT_NEAR(cost.refreshTable.sram.accessNs, 0.07, 0.02);
+    EXPECT_EQ(cost.refreshTable.sram.entries, 68u);
+}
+
+TEST(SramModel, Table2RefPtrTable)
+{
+    auto cost = hiraMcCost();
+    // Paper: 0.00683 mm^2, 0.12 ns, 2048 entries x 10 bits.
+    EXPECT_NEAR(cost.refPtrTable.sram.areaMm2, 0.00683, 0.0015);
+    EXPECT_NEAR(cost.refPtrTable.sram.accessNs, 0.12, 0.02);
+    EXPECT_EQ(cost.refPtrTable.sram.entries, 2048u);
+    EXPECT_EQ(cost.refPtrTable.sram.bitsPerEntry, 10u);
+}
+
+TEST(SramModel, Table2PrFifo)
+{
+    auto cost = hiraMcCost();
+    EXPECT_NEAR(cost.prFifo.sram.areaMm2, 0.00029, 0.0002);
+    EXPECT_NEAR(cost.prFifo.sram.accessNs, 0.07, 0.02);
+}
+
+TEST(SramModel, Table2Spt)
+{
+    auto cost = hiraMcCost();
+    EXPECT_NEAR(cost.spt.sram.areaMm2, 0.0018, 0.0008);
+    EXPECT_NEAR(cost.spt.sram.accessNs, 0.09, 0.02);
+}
+
+TEST(SramModel, TotalAreaNearPaper)
+{
+    // Paper: 0.00923 mm^2 per rank overall.
+    auto cost = hiraMcCost();
+    EXPECT_NEAR(cost.totalAreaMm2(), 0.00923, 0.0025);
+}
+
+TEST(SramModel, WorstCaseQueryBelowTrp)
+{
+    // §6.2's conclusion: the 68-iteration pipelined traversal plus one
+    // RefPtr access (~6.31 ns) completes well within tRP (~14.5 ns).
+    auto cost = hiraMcCost();
+    EXPECT_NEAR(cost.worstCaseQueryNs(), 6.31, 1.2);
+    EXPECT_LT(cost.worstCaseQueryNs(), 14.25);
+}
+
+TEST(SramModel, DieFractionTiny)
+{
+    auto cost = hiraMcCost();
+    EXPECT_NEAR(cost.dieFraction(), 0.000023, 0.00001);
+}
+
+TEST(SramModel, ComponentsListComplete)
+{
+    auto cost = hiraMcCost();
+    auto comps = cost.components();
+    ASSERT_EQ(comps.size(), 4u);
+    double sum = 0.0;
+    for (const auto *c : comps)
+        sum += c->sram.areaMm2;
+    EXPECT_DOUBLE_EQ(sum, cost.totalAreaMm2());
+}
+
+TEST(SramModel, ScalesWithGeometry)
+{
+    // Doubling banks doubles RefPtr and PR-FIFO capacity.
+    auto base = hiraMcCost(16);
+    auto big = hiraMcCost(32);
+    EXPECT_GT(big.refPtrTable.sram.areaMm2, base.refPtrTable.sram.areaMm2);
+    EXPECT_GT(big.prFifo.sram.areaMm2, base.prFifo.sram.areaMm2);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the elastic-refresh postponement option of BaselineRefresh
+ * (Elastic Refresh [161] within DDR4's 8-postponement bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/controller.hh"
+
+using namespace hira;
+
+namespace {
+
+ControllerConfig
+makeConfig()
+{
+    ControllerConfig cc;
+    cc.geom = Geometry::forCapacityGb(8.0);
+    cc.tp = ddr4_2400(8.0);
+    return cc;
+}
+
+Request
+readReq(BankId bank, RowId row, std::uint64_t tag)
+{
+    Request r;
+    r.type = MemType::Read;
+    r.da.channel = 0;
+    r.da.bank = bank;
+    r.da.row = row;
+    r.addr = (static_cast<Addr>(row) << 20) | (bank << 14) | (tag << 6);
+    r.tag = tag;
+    return r;
+}
+
+} // namespace
+
+TEST(ElasticRefresh, PostponesWhileReadsQueued)
+{
+    auto cc = makeConfig();
+    auto scheme = std::make_unique<BaselineRefresh>(/*max_postpone=*/8);
+    BaselineRefresh *br = scheme.get();
+    MemoryController ctrl(0, cc, std::move(scheme));
+    TimingCycles tc(cc.tp);
+    // Keep the read queue busy past the first REF due time.
+    std::uint64_t tag = 1;
+    for (Cycle now = 1; now < tc.refi + 500; ++now) {
+        if (ctrl.queuedReads() < 8) {
+            ctrl.enqueue(readReq(static_cast<BankId>(tag % 16),
+                                 static_cast<RowId>(tag * 37 % 4096),
+                                 tag));
+            ++tag;
+        }
+        ctrl.tick(now);
+        ctrl.completions().clear();
+    }
+    // The REF was deferred: debt accrued, no REF issued yet.
+    EXPECT_EQ(ctrl.stats().refs, 0u);
+    EXPECT_GE(br->debtOf(0), 1);
+}
+
+TEST(ElasticRefresh, CatchesUpWhenIdle)
+{
+    auto cc = makeConfig();
+    auto scheme = std::make_unique<BaselineRefresh>(8);
+    BaselineRefresh *br = scheme.get();
+    MemoryController ctrl(0, cc, std::move(scheme));
+    TimingCycles tc(cc.tp);
+    std::uint64_t tag = 1;
+    // Busy phase covering two tREFIs...
+    for (Cycle now = 1; now < 2 * tc.refi + 100; ++now) {
+        if (ctrl.queuedReads() < 8) {
+            ctrl.enqueue(readReq(static_cast<BankId>(tag % 16),
+                                 static_cast<RowId>(tag * 37 % 4096),
+                                 tag));
+            ++tag;
+        }
+        ctrl.tick(now);
+        ctrl.completions().clear();
+    }
+    EXPECT_EQ(ctrl.stats().refs, 0u);
+    // ...then idle: the postponed REFs catch up.
+    for (Cycle now = 2 * tc.refi + 100; now < 3 * tc.refi; ++now) {
+        ctrl.tick(now);
+        ctrl.completions().clear();
+    }
+    EXPECT_GE(ctrl.stats().refs, 2u);
+    EXPECT_EQ(br->debtOf(0), 0);
+}
+
+TEST(ElasticRefresh, ForcedAtPostponementBound)
+{
+    auto cc = makeConfig();
+    auto scheme = std::make_unique<BaselineRefresh>(2);
+    BaselineRefresh *br = scheme.get();
+    MemoryController ctrl(0, cc, std::move(scheme));
+    TimingCycles tc(cc.tp);
+    std::uint64_t tag = 1;
+    // Permanently busy: once the debt exceeds 2, REFs are forced.
+    for (Cycle now = 1; now < 5 * tc.refi; ++now) {
+        if (ctrl.queuedReads() < 8) {
+            ctrl.enqueue(readReq(static_cast<BankId>(tag % 16),
+                                 static_cast<RowId>(tag * 37 % 4096),
+                                 tag));
+            ++tag;
+        }
+        ctrl.tick(now);
+        ctrl.completions().clear();
+    }
+    EXPECT_GE(ctrl.stats().refs, 2u);
+    EXPECT_LE(br->debtOf(0), 3);
+}
+
+TEST(ElasticRefresh, ZeroPostponeMatchesStrictBaseline)
+{
+    auto cc = makeConfig();
+    MemoryController ctrl(0, cc, std::make_unique<BaselineRefresh>(0));
+    TimingCycles tc(cc.tp);
+    for (Cycle now = 1; now < 4 * tc.refi + 200; ++now) {
+        ctrl.tick(now);
+        ctrl.completions().clear();
+    }
+    EXPECT_EQ(ctrl.stats().refs, 4u);
+}
+
+TEST(ElasticRefresh, RefreshRateNeverFallsBehindBound)
+{
+    // Refresh-rate guarantee: after any traffic pattern, issued REFs +
+    // outstanding debt always equal the elapsed tREFIs.
+    auto cc = makeConfig();
+    auto scheme = std::make_unique<BaselineRefresh>(8);
+    BaselineRefresh *br = scheme.get();
+    MemoryController ctrl(0, cc, std::move(scheme));
+    TimingCycles tc(cc.tp);
+    Rng rng(21);
+    std::uint64_t tag = 1;
+    Cycle horizon = 6 * tc.refi;
+    for (Cycle now = 1; now < horizon; ++now) {
+        if (rng.chance(0.05) && !ctrl.readQueueFull()) {
+            ctrl.enqueue(readReq(static_cast<BankId>(rng.below(16)),
+                                 static_cast<RowId>(rng.below(4096)),
+                                 tag++));
+        }
+        ctrl.tick(now);
+        ctrl.completions().clear();
+    }
+    // REFs come due at refi, 2*refi, ..., strictly before the horizon.
+    Cycle elapsed_refis = (horizon - 1) / tc.refi;
+    EXPECT_EQ(ctrl.stats().refs + static_cast<std::uint64_t>(
+                                      br->debtOf(0)),
+              elapsed_refis);
+}

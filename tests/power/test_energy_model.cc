@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the IDD-based DDR4 energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+
+using namespace hira;
+
+namespace {
+
+EnergyModel
+model(double capacity_gb = 8.0)
+{
+    return EnergyModel(ddr4_2400(capacity_gb));
+}
+
+} // namespace
+
+TEST(EnergyModel, PerOpEnergiesPositiveAndOrdered)
+{
+    EnergyModel m = model();
+    EXPECT_GT(m.actPreEnergyNj(), 0.0);
+    EXPECT_GT(m.readEnergyNj(), 0.0);
+    EXPECT_GT(m.writeEnergyNj(), 0.0);
+    EXPECT_GT(m.refEnergyNj(), 0.0);
+    // A full all-bank REF burns far more than one row activation.
+    EXPECT_GT(m.refEnergyNj(), 10.0 * m.actPreEnergyNj());
+}
+
+TEST(EnergyModel, ActPreMagnitudeSane)
+{
+    // (55-42) mA * 46.25 ns * 1.2 V * 8 chips ~ 5.8 nJ.
+    EXPECT_NEAR(model().actPreEnergyNj(), 5.77, 0.2);
+}
+
+TEST(EnergyModel, RefEnergyScalesWithCapacity)
+{
+    // tRFC grows as C^0.6, so does the REF burst energy.
+    EXPECT_GT(model(128.0).refEnergyNj(), 3.0 * model(8.0).refEnergyNj());
+}
+
+TEST(EnergyModel, BackgroundScalesWithRanksAndTime)
+{
+    EnergyModel m = model();
+    double one = m.backgroundEnergyNj(1, 1000);
+    EXPECT_NEAR(m.backgroundEnergyNj(2, 1000), 2.0 * one, 1e-9);
+    EXPECT_NEAR(m.backgroundEnergyNj(1, 2000), 2.0 * one, 1e-9);
+}
+
+TEST(EnergyModel, AttributionAddsUp)
+{
+    EnergyModel m = model();
+    ControllerStats cs;
+    cs.acts = 100;
+    cs.readsServed = 300;
+    cs.writesServed = 50;
+    RefreshStats rs;
+    rs.refCommands = 10;
+    rs.rowRefreshes = 40;
+    EnergyBreakdown e = m.attribute(cs, rs, 1, 10000);
+    EXPECT_NEAR(e.totalNj(),
+                e.actPreNj + e.readNj + e.writeNj + e.refNj +
+                    e.backgroundNj,
+                1e-9);
+    EXPECT_NEAR(e.actPreNj, 100 * m.actPreEnergyNj(), 1e-9);
+    EXPECT_NEAR(e.refNj, 10 * m.refEnergyNj(), 1e-9);
+    // Refresh attribution: REF bursts plus per-row refresh activations.
+    EXPECT_NEAR(e.refreshNj, e.refNj + 40 * m.actPreEnergyNj(), 1e-9);
+}
+
+TEST(EnergyModel, HiraRowRefreshCheaperThanRefPerRowAtHighCapacity)
+{
+    // At 128 Gb a REF refreshes refreshGroupsPerBank*16/8192 rows per
+    // command; compare per-row energies of the two mechanisms.
+    Geometry g = Geometry::forCapacityGb(128.0);
+    EnergyModel m = model(128.0);
+    double rows_per_ref =
+        static_cast<double>(g.refreshGroupsPerBank) * 16.0 / 8192.0;
+    double ref_per_row = m.refEnergyNj() / rows_per_ref;
+    // Both are the same order of magnitude: HiRA does not blow up the
+    // refresh energy budget (it may even be cheaper per row).
+    EXPECT_LT(m.actPreEnergyNj(), 3.0 * ref_per_row);
+    EXPECT_GT(m.actPreEnergyNj(), 0.1 * ref_per_row);
+}

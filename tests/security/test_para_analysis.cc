@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the PARA security analysis (Expressions 2-9, Figs. 10-11).
+ * Anchors are the paper's published numbers: pth ~0.068 at NRH = 1024
+ * and ~0.834-0.86 at NRH = 64; k = 1.0331 / 1.3212; legacy pRH reaching
+ * 1.32e-15 at NRH = 64.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "security/para_analysis.hh"
+
+using namespace hira;
+
+TEST(ParaAnalysis, WindowActivations)
+{
+    ParaParams pp;
+    // 64 ms / 46.25 ns ~ 1.38M activations (footnote 11's basis).
+    EXPECT_NEAR(pp.windowActivations(), 1.3838e6, 5e3);
+}
+
+TEST(ParaAnalysis, SlackActivations)
+{
+    ParaParams pp;
+    EXPECT_NEAR(slackActivations(4 * 46.25, pp), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(slackActivations(0.0, pp), 0.0);
+}
+
+TEST(ParaAnalysis, SuccessProbabilityDecreasesInPth)
+{
+    double prev = 0.0;
+    bool first = true;
+    for (double p : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+        double lp = logRowHammerSuccess(p, 256.0, 0.0);
+        if (!first) {
+            EXPECT_LT(lp, prev);
+        }
+        prev = lp;
+        first = false;
+    }
+}
+
+TEST(ParaAnalysis, SuccessProbabilityIncreasesWithSlack)
+{
+    // Queued refreshes give the attacker extra activations.
+    double base = logRowHammerSuccess(0.5, 128.0, 0.0);
+    double slack8 = logRowHammerSuccess(0.5, 128.0, 8.0);
+    EXPECT_GT(slack8, base);
+}
+
+TEST(ParaAnalysis, StrictModelAboveLegacy)
+{
+    // Expression 8 counts all attack patterns, so it can only exceed
+    // PARA-Legacy's single-pattern estimate (k >= 1).
+    for (double nrh : {64.0, 256.0, 1024.0}) {
+        double p = solvePthLegacy(nrh);
+        EXPECT_GE(kFactor(p, nrh, 0.0), 1.0);
+    }
+}
+
+TEST(ParaAnalysis, SolvedPthMeetsTarget)
+{
+    ParaParams pp;
+    for (double nrh : {64.0, 128.0, 512.0, 1024.0}) {
+        double p = solvePth(nrh, 0.0, pp);
+        double log_prh = logRowHammerSuccess(p, nrh, 0.0, pp);
+        EXPECT_NEAR(log_prh, std::log(pp.target), 1e-6) << "NRH " << nrh;
+    }
+}
+
+TEST(ParaAnalysis, PthAnchorsFromFig11a)
+{
+    // "pth increases from 0.068 to 0.860 when NRH reduces from 1024 to
+    // 64" (tRefSlack = 0).
+    EXPECT_NEAR(solvePth(1024.0, 0.0), 0.068, 0.006);
+    EXPECT_NEAR(solvePth(64.0, 0.0), 0.84, 0.03);
+}
+
+TEST(ParaAnalysis, PthIncreasesAsNrhDecreases)
+{
+    double prev = 0.0;
+    for (double nrh : {1024.0, 512.0, 256.0, 128.0, 64.0}) {
+        double p = solvePth(nrh, 0.0);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(ParaAnalysis, PthIncreasesWithSlackAtNrh128)
+{
+    // Fig. 11a: at NRH = 128, pth ~0.48 / 0.49 / 0.50 / 0.52 for slack
+    // 0 / 2tRC / 4tRC / 8tRC.
+    ParaParams pp;
+    double tRC = pp.tRC;
+    double p0 = solvePth(128.0, slackActivations(0.0, pp), pp);
+    double p2 = solvePth(128.0, slackActivations(2 * tRC, pp), pp);
+    double p4 = solvePth(128.0, slackActivations(4 * tRC, pp), pp);
+    double p8 = solvePth(128.0, slackActivations(8 * tRC, pp), pp);
+    EXPECT_NEAR(p0, 0.48, 0.03);
+    EXPECT_NEAR(p8, 0.52, 0.03);
+    EXPECT_LT(p0, p2);
+    EXPECT_LT(p2, p4);
+    EXPECT_LT(p4, p8);
+}
+
+TEST(ParaAnalysis, KFactorAnchors)
+{
+    // §9.1.3: k = 1.0005 for (NRH = 50K, pth = 0.001); k ~1.033 at the
+    // NRH = 1024 operating point; k = 1.3212 for pth = 0.8341.
+    EXPECT_NEAR(kFactor(0.001, 50000.0, 0.0), 1.0005, 0.0005);
+    EXPECT_NEAR(kFactor(solvePth(1024.0, 0.0), 1024.0, 0.0), 1.033, 0.004);
+    EXPECT_NEAR(kFactor(0.8341, 64.0, 0.0), 1.3212, 0.005);
+}
+
+TEST(ParaAnalysis, LegacyConfigMissesTarget)
+{
+    // Fig. 11b: pth solved under PARA-Legacy yields a true success
+    // probability of ~1.03e-15 at NRH = 1024 and ~1.32e-15 at NRH = 64.
+    ParaParams pp;
+    double legacy1024 = solvePthLegacy(1024.0, pp);
+    double legacy64 = solvePthLegacy(64.0, pp);
+    EXPECT_NEAR(rowHammerSuccess(legacy1024, 1024.0, 0.0, pp) / 1e-15,
+                1.03, 0.02);
+    EXPECT_NEAR(rowHammerSuccess(legacy64, 64.0, 0.0, pp) / 1e-15, 1.32,
+                0.02);
+}
+
+TEST(ParaAnalysis, SweepCoversGridAndIsConsistent)
+{
+    auto sweep = paraSweep({1024.0, 256.0, 64.0}, {0.0, 4 * 46.25});
+    ASSERT_EQ(sweep.size(), 6u);
+    for (const auto &pt : sweep) {
+        EXPECT_GT(pt.pth, 0.0);
+        EXPECT_LT(pt.pth, 1.0);
+        // The strict pth always exceeds legacy's at the same NRH.
+        EXPECT_GE(pt.pth, pt.pthLegacy - 1e-9);
+        // Legacy's true pRH always misses (exceeds) the 1e-15 target.
+        EXPECT_GE(pt.legacyTruePrh, 1e-15);
+    }
+}
+
+TEST(ParaAnalysis, LegacyMatchesClosedForm)
+{
+    double p = 0.3;
+    double nrh = 100.0;
+    EXPECT_NEAR(logRowHammerSuccessLegacy(p, nrh),
+                nrh * std::log(1.0 - p / 2.0), 1e-12);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the experiment-spec layer: spec-to-config wiring (including
+ * the slack-adjusted PARA thresholds of §9.1 step 4), labels/keys, and
+ * SweepRunner determinism at a tiny scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "security/para_analysis.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+
+TEST(ExperimentSpec, GeomKeyDistinguishesPoints)
+{
+    GeomSpec a, b;
+    b.capacityGb = 32.0;
+    GeomSpec c;
+    c.ranks = 4;
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(a.key(), c.key());
+    EXPECT_EQ(a.key(), GeomSpec().key());
+}
+
+TEST(ExperimentSpec, SchemeLabels)
+{
+    SchemeSpec s;
+    s.kind = SchemeKind::HiraMc;
+    s.slackN = 4;
+    EXPECT_EQ(s.label(), "HiRA-4");
+    s.paraEnabled = true;
+    s.preventiveViaHira = true;
+    EXPECT_EQ(s.label(), "HiRA-4+PARA(HiRA)");
+    SchemeSpec b;
+    b.paraEnabled = true;
+    EXPECT_EQ(b.label(), "Baseline+PARA");
+}
+
+TEST(ExperimentSpec, GeometryWiring)
+{
+    GeomSpec g;
+    g.capacityGb = 32.0;
+    g.channels = 2;
+    g.ranks = 4;
+    Geometry geom = g.toGeometry();
+    EXPECT_EQ(geom.channels, 2);
+    EXPECT_EQ(geom.ranksPerChannel, 4);
+    EXPECT_EQ(geom.rowsPerBank, 262144u);
+    EXPECT_NEAR(g.toTiming().tRFC, TimingParams::scaledRfc(32.0), 1e-9);
+}
+
+TEST(ExperimentSpec, ImmediateParaConfigUsesZeroSlackPth)
+{
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline;
+    s.paraEnabled = true;
+    s.nrh = 256.0;
+    SystemConfig cfg = makeSystemConfig(g, s, {"gcc-like"}, 1);
+    EXPECT_EQ(cfg.scheme, SchemeKind::Baseline);
+    EXPECT_TRUE(cfg.para.enabled);
+    EXPECT_NEAR(cfg.para.pth, solvePth(256.0, 0.0), 1e-9);
+    EXPECT_FALSE(cfg.hira.preventive.enabled);
+}
+
+TEST(ExperimentSpec, PreventiveViaHiraUsesSlackAdjustedPth)
+{
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline; // periodic stays REF (Fig. 12)
+    s.paraEnabled = true;
+    s.preventiveViaHira = true;
+    s.slackN = 4;
+    s.nrh = 128.0;
+    SystemConfig cfg = makeSystemConfig(g, s, {"gcc-like"}, 1);
+    EXPECT_EQ(cfg.scheme, SchemeKind::HiraMc);
+    EXPECT_FALSE(cfg.hira.periodicViaHira);
+    EXPECT_TRUE(cfg.hira.preventive.enabled);
+    double expect =
+        solvePth(128.0, slackActivations(4 * cfg.tp.tRC));
+    EXPECT_NEAR(cfg.hira.preventive.pth, expect, 1e-9);
+    // The slack-adjusted threshold exceeds the zero-slack one.
+    EXPECT_GT(cfg.hira.preventive.pth, solvePth(128.0, 0.0));
+    EXPECT_FALSE(cfg.para.enabled);
+}
+
+TEST(ExperimentSpec, ElasticPostponeWiring)
+{
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline;
+    s.refPostpone = 8;
+    SystemConfig cfg = makeSystemConfig(g, s, {"gcc-like"}, 1);
+    EXPECT_EQ(cfg.refPostpone, 8);
+}
+
+TEST(ExperimentSpec, AblationSwitchesWiring)
+{
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::HiraMc;
+    s.accessPairing = false;
+    s.pullAhead = false;
+    s.sptIsolation = 0.6;
+    SystemConfig cfg = makeSystemConfig(g, s, {"gcc-like"}, 1);
+    EXPECT_FALSE(cfg.hira.enableAccessPairing);
+    EXPECT_FALSE(cfg.hira.enablePullAhead);
+    EXPECT_DOUBLE_EQ(cfg.hira.sptIsolation, 0.6);
+}
+
+TEST(ExperimentSpec, SweepRunnerDeterministicTinyScale)
+{
+    BenchKnobs k;
+    k.mixes = 2;
+    k.cycles = 15000;
+    k.warmup = 5000;
+    k.rows = 64;
+    k.threads = 1;
+    SweepRunner a(k), b(k);
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline;
+    EXPECT_DOUBLE_EQ(a.meanWs(g, s), b.meanWs(g, s));
+    EXPECT_EQ(a.mixes().size(), 2u);
+}
+
+TEST(ExperimentSpec, WeightedSpeedupBounds)
+{
+    // Shared IPC can never exceed alone IPC per core in a contention
+    // model, so WS <= core count; and WS > 0 for any progress.
+    BenchKnobs k;
+    k.mixes = 1;
+    k.cycles = 20000;
+    k.warmup = 5000;
+    k.threads = 1;
+    SweepRunner runner(k);
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline;
+    double ws = runner.meanWs(g, s);
+    EXPECT_GT(ws, 0.0);
+    EXPECT_LT(ws, 8.5);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the SoftMC host substitute: time quantization, primitive
+ * sequences, and the HiRA op helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "softmc/host.hh"
+
+using namespace hira;
+
+namespace {
+
+ChipConfig
+cfg(bool honors = true)
+{
+    ChipConfig c;
+    c.seed = 4242;
+    c.banks = 2;
+    c.rowsPerBank = 512;
+    c.subarraysPerBank = 64;
+    c.honorsHira = honors;
+    c.pairIsolationMean = 0.5;
+    return c;
+}
+
+} // namespace
+
+TEST(SoftMCHost, QuantizesToCommandGrid)
+{
+    // SoftMC issues a command every 1.5 ns (footnote 5).
+    EXPECT_DOUBLE_EQ(SoftMCHost::quantize(3.0), 3.0);
+    EXPECT_DOUBLE_EQ(SoftMCHost::quantize(4.5), 4.5);
+    EXPECT_DOUBLE_EQ(SoftMCHost::quantize(1.0), 1.5);
+    EXPECT_DOUBLE_EQ(SoftMCHost::quantize(14.25), 15.0);
+    EXPECT_DOUBLE_EQ(SoftMCHost::quantize(0.0), 0.0);
+}
+
+TEST(SoftMCHost, TimeAdvancesWithCommands)
+{
+    DramChip chip(cfg());
+    SoftMCHost host(chip);
+    EXPECT_DOUBLE_EQ(host.time(), 0.0);
+    host.act(0, 10, 3.0);
+    EXPECT_DOUBLE_EQ(host.time(), 3.0);
+    host.pre(0, 14.25);
+    EXPECT_DOUBLE_EQ(host.time(), 18.0);
+    host.wait(100.0);
+    EXPECT_DOUBLE_EQ(host.time(), 118.5);
+}
+
+TEST(SoftMCHost, InitializeAndCompareRoundTrip)
+{
+    DramChip chip(cfg());
+    SoftMCHost host(chip);
+    host.initializeRow(0, 42, DataPattern::Checker);
+    EXPECT_TRUE(host.compareRow(0, 42, DataPattern::Checker));
+    EXPECT_FALSE(host.compareRow(0, 42, DataPattern::Zeros));
+}
+
+TEST(SoftMCHost, ReadRowReturnsBytes)
+{
+    DramChip chip(cfg());
+    SoftMCHost host(chip);
+    host.initializeRow(0, 7, DataPattern::Ones);
+    auto data = host.readRow(0, 7);
+    ASSERT_EQ(data.size(), chip.config().rowBytes);
+    EXPECT_EQ(data[0], 0xFF);
+}
+
+TEST(SoftMCHost, HammerAdvancesNominalTime)
+{
+    DramChip chip(cfg());
+    SoftMCHost host(chip);
+    NanoSec before = host.time();
+    host.hammerPair(0, 100, 102, 1000);
+    // 1000 iterations x 2 activations x tRC.
+    EXPECT_NEAR(host.time() - before, 1000.0 * 2.0 * 46.25, 1e-6);
+}
+
+TEST(SoftMCHost, HiraOpLeavesBankPrecharged)
+{
+    DramChip chip(cfg());
+    SoftMCHost host(chip);
+    host.initializeRow(0, 8, DataPattern::Ones);
+    host.initializeRow(0, 40, DataPattern::Zeros);
+    host.hiraOp(0, 8, 40, 3.0, 3.0);
+    // A follow-up init must work from the precharged state.
+    host.initializeRow(0, 9, DataPattern::Checker);
+    EXPECT_TRUE(host.compareRow(0, 9, DataPattern::Checker));
+}
+
+TEST(SoftMCHost, PatternInversion)
+{
+    EXPECT_EQ(invert(DataPattern::Ones), DataPattern::Zeros);
+    EXPECT_EQ(invert(DataPattern::Checker), DataPattern::InvChecker);
+    EXPECT_EQ(invert(invert(DataPattern::Checker)), DataPattern::Checker);
+}

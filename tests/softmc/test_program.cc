@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for SoftMC command programs and their executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "softmc/program.hh"
+
+using namespace hira;
+
+namespace {
+
+ChipConfig
+cfg()
+{
+    ChipConfig c;
+    c.seed = 555;
+    c.banks = 1;
+    c.rowsPerBank = 512;
+    c.subarraysPerBank = 64;
+    c.pairIsolationMean = 0.5;
+    return c;
+}
+
+std::pair<RowId, RowId>
+isolatedPair(const DramChip &chip)
+{
+    const auto &iso = chip.isolation();
+    for (RowId a = 8; a < 512; a += 8) {
+        for (RowId b = a + 24; b < 512; b += 8) {
+            if (iso.rowsIsolated(a, b))
+                return {a, b};
+        }
+    }
+    return {0, 0};
+}
+
+} // namespace
+
+TEST(CommandProgram, BuilderProducesInstructions)
+{
+    CommandProgram p;
+    p.initRow(0, 1, DataPattern::Ones)
+        .hira(0, 1, 2, 3.0, 3.0)
+        .verifyRow(0, 1, DataPattern::Ones);
+    // initRow: act, write, wait, pre (4); hira: act, pre, act, pre (4);
+    // verifyRow: act, check, wait, pre (4).
+    EXPECT_EQ(p.size(), 12u);
+    EXPECT_EQ(p.instructions()[0].op, SoftMCOp::Act);
+    EXPECT_EQ(p.instructions()[1].op, SoftMCOp::WritePattern);
+}
+
+TEST(CommandProgram, ExecuteAlgorithm1Inner)
+{
+    // Build Algorithm 1's inner loop as a program and run it on an
+    // isolated pair: all checks must pass.
+    DramChip chip(cfg());
+    auto [a, b] = isolatedPair(chip);
+    ASSERT_NE(a, 0u);
+    SoftMCHost host(chip);
+    CommandProgram p;
+    for (DataPattern pat : kAllPatterns) {
+        p.initRow(0, a, pat);
+        p.initRow(0, b, invert(pat));
+        p.hira(0, a, b, 3.0, 3.0);
+        p.verifyRow(0, a, pat);
+        p.verifyRow(0, b, invert(pat));
+    }
+    ProgramResult r = execute(host, p);
+    EXPECT_EQ(r.checkResults.size(), 8u);
+    EXPECT_TRUE(r.allChecksPassed());
+    EXPECT_GT(r.endTime, 0.0);
+}
+
+TEST(CommandProgram, ExecuteDetectsSharedSubarrayCorruption)
+{
+    DramChip chip(cfg());
+    SoftMCHost host(chip);
+    RowId a = 16, b = 18; // same subarray (8 rows per subarray)
+    CommandProgram p;
+    p.initRow(0, a, DataPattern::Ones);
+    p.initRow(0, b, DataPattern::Zeros);
+    p.hira(0, a, b, 3.0, 3.0);
+    p.verifyRow(0, a, DataPattern::Ones);
+    p.verifyRow(0, b, DataPattern::Zeros);
+    ProgramResult r = execute(host, p);
+    EXPECT_FALSE(r.allChecksPassed());
+}
+
+TEST(CommandProgram, HammerLoopMatchesHostHelper)
+{
+    DramChip chip_a(cfg()), chip_b(cfg());
+    SoftMCHost host_a(chip_a), host_b(chip_b);
+    host_a.hammerPair(0, 100, 102, 500);
+    CommandProgram p;
+    p.hammerLoop(0, 100, 102, 500);
+    execute(host_b, p);
+    EXPECT_DOUBLE_EQ(chip_a.damageOf(0, 101), chip_b.damageOf(0, 101));
+    EXPECT_DOUBLE_EQ(host_a.time(), host_b.time());
+}
+
+TEST(CommandProgram, EmptyProgramPasses)
+{
+    DramChip chip(cfg());
+    SoftMCHost host(chip);
+    ProgramResult r = execute(host, CommandProgram());
+    EXPECT_TRUE(r.allChecksPassed());
+    EXPECT_DOUBLE_EQ(r.endTime, 0.0);
+}
