@@ -21,7 +21,7 @@ namespace hira {
 class Variation
 {
   public:
-    explicit Variation(const ChipConfig &cfg) : cfg(cfg) {}
+    explicit Variation(const ChipConfig &chip_cfg) : cfg(chip_cfg) {}
 
     /** Sense-amp enable latency of the row: HiRA's t1 lower bound (ns). */
     double saEnable(RowId row) const;

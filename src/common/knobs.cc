@@ -1,6 +1,8 @@
 #include "common/knobs.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 
 #include "common/logging.hh"
@@ -37,16 +39,40 @@ envKnobDouble(const std::string &name, double fallback)
     return parsed;
 }
 
+namespace {
+
+/** Clamp a scale knob into [floor, ceiling]; zero mixes or cycles would
+ * only produce NaN means / empty sweeps downstream, and values past the
+ * ceiling would wrap when narrowed to int. */
+std::int64_t
+envKnobClamped(const std::string &name, std::int64_t fallback,
+               std::int64_t floor,
+               std::int64_t ceiling = std::numeric_limits<std::int64_t>::max())
+{
+    std::int64_t v = envKnob(name, fallback);
+    std::int64_t clamped = std::min(std::max(v, floor), ceiling);
+    if (clamped != v) {
+        warn("clamping env knob %s=%lld to %lld", name.c_str(),
+             static_cast<long long>(v), static_cast<long long>(clamped));
+    }
+    return clamped;
+}
+
+constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
+
+} // namespace
+
 BenchKnobs
 BenchKnobs::fromEnv()
 {
     BenchKnobs k;
-    k.mixes = static_cast<int>(envKnob("HIRA_MIXES", 6));
-    k.cycles = envKnob("HIRA_CYCLES", 150000);
-    k.warmup = envKnob("HIRA_WARMUP", 30000);
-    k.rows = static_cast<int>(envKnob("HIRA_ROWS", 256));
+    k.mixes = static_cast<int>(envKnobClamped("HIRA_MIXES", 6, 1, kIntMax));
+    k.cycles = envKnobClamped("HIRA_CYCLES", 150000, 1);
+    k.warmup = envKnobClamped("HIRA_WARMUP", 30000, 0);
+    k.rows = static_cast<int>(envKnobClamped("HIRA_ROWS", 256, 1, kIntMax));
     int hw = static_cast<int>(std::thread::hardware_concurrency());
-    k.threads = static_cast<int>(envKnob("HIRA_THREADS", hw > 0 ? hw : 4));
+    k.threads = static_cast<int>(
+        envKnobClamped("HIRA_THREADS", hw > 0 ? hw : 4, 1, kIntMax));
     return k;
 }
 

@@ -5,6 +5,20 @@
  * Every stochastic element in the library (process variation, synthetic
  * traces, PARA coin flips, workload mixes) derives from named 64-bit seeds
  * through these generators, so every experiment is bit-reproducible.
+ *
+ * Generator contract (relied on by tests/common/test_rng.cc golden
+ * values — do not change any of these without a major version bump):
+ *  - Rng is xoshiro256** (Blackman/Vigna reference constants: mul 5,
+ *    rotl 7, mul 9; state rotl 45, shift 17), seeded by four successive
+ *    splitmix64 outputs of the 64-bit seed.
+ *  - splitmix64 / hashCombine / hashString are pure functions of their
+ *    inputs; hashString is FNV-1a (offset 0xcbf29ce484222325, prime
+ *    0x100000001b3) finalized through splitmix64.
+ *  - uniform() maps the top 53 bits of next() onto [0, 1) as
+ *    (next() >> 11) * 2^-53; hashUniform() does the same to a
+ *    hashCombine chain. Same seed therefore yields the same stream on
+ *    every conforming platform, independent of compiler, OS, or
+ *    evaluation order.
  */
 
 #ifndef HIRA_COMMON_RNG_HH

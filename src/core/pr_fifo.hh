@@ -20,8 +20,8 @@ namespace hira {
 class PrFifoSet
 {
   public:
-    PrFifoSet(int banks, std::size_t depth = 4)
-        : fifos(static_cast<std::size_t>(banks)), depth(depth)
+    PrFifoSet(int banks, std::size_t fifo_depth = 4)
+        : fifos(static_cast<std::size_t>(banks)), depth(fifo_depth)
     {
     }
 

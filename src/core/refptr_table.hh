@@ -31,13 +31,13 @@ class RefPtrTable
 {
   public:
     /**
-     * @param banks banks per rank
+     * @param bank_count banks per rank
      * @param subarrays subarrays per bank
      * @param rows_per_subarray rows (refresh groups) per subarray
      */
-    RefPtrTable(int banks, std::uint32_t subarrays,
+    RefPtrTable(int bank_count, std::uint32_t subarrays,
                 std::uint32_t rows_per_subarray)
-        : banks(banks), subs(subarrays), rowsPerSub(rows_per_subarray)
+        : banks(bank_count), subs(subarrays), rowsPerSub(rows_per_subarray)
     {
         hira_assert(banks > 0 && subs > 0 && rowsPerSub > 0);
         ptr.assign(static_cast<std::size_t>(banks) * subs, 0);

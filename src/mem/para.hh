@@ -31,8 +31,8 @@ struct ParaConfig
 class ParaSampler
 {
   public:
-    explicit ParaSampler(const ParaConfig &cfg)
-        : cfg(cfg), rng(hashCombine(cfg.seed, 0xbeef))
+    explicit ParaSampler(const ParaConfig &para_cfg)
+        : cfg(para_cfg), rng(hashCombine(para_cfg.seed, 0xbeef))
     {
     }
 

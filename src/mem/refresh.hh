@@ -41,7 +41,7 @@ class RefreshScheme
     virtual ~RefreshScheme() = default;
 
     /** Called once after the controller is constructed. */
-    virtual void attach(MemoryController *ctrl) { this->ctrl = ctrl; }
+    virtual void attach(MemoryController *controller) { ctrl = controller; }
 
     /**
      * Per-cycle refresh work. May issue at most one command through the

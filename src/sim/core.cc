@@ -4,11 +4,12 @@
 
 namespace hira {
 
-CoreModel::CoreModel(int id, TraceGen &gen, Llc &llc, int width,
-                     int window_entries)
-    : id(id), gen(gen), llc(llc), width(width), windowSize(window_entries)
+CoreModel::CoreModel(int core_id, TraceGen &trace, Llc &shared_llc,
+                     int issue_width, int window_entries)
+    : id(core_id), gen(trace), llc(shared_llc), width(issue_width),
+      windowSize(window_entries)
 {
-    hira_assert(width > 0 && window_entries > 0);
+    hira_assert(issue_width > 0 && window_entries > 0);
     window.assign(static_cast<std::size_t>(window_entries), Slot{});
 }
 

@@ -21,14 +21,14 @@ class CoreModel
 {
   public:
     /**
-     * @param id core id
-     * @param gen this core's trace generator (owned by caller)
-     * @param llc the shared LLC
-     * @param width issue/retire width (4)
+     * @param core_id core id
+     * @param trace this core's trace generator (owned by caller)
+     * @param shared_llc the shared LLC
+     * @param issue_width issue/retire width (4)
      * @param window instruction-window entries (128)
      */
-    CoreModel(int id, TraceGen &gen, Llc &llc, int width = 4,
-              int window = 128);
+    CoreModel(int core_id, TraceGen &trace, Llc &shared_llc,
+              int issue_width = 4, int window = 128);
 
     /** Advance one CPU cycle (@p mem_now is the memory-clock time). */
     void tick(Cycle mem_now);

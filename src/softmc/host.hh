@@ -30,8 +30,8 @@ class SoftMCHost
     static constexpr double kRpNs = 14.25;
 
     /** The host resumes from the chip's current time. */
-    explicit SoftMCHost(DramChip &chip)
-        : chip(&chip), now(chip.currentTime())
+    explicit SoftMCHost(DramChip &dram)
+        : chip(&dram), now(dram.currentTime())
     {
     }
 

@@ -162,6 +162,42 @@ TEST(HashRandom, StringHashStable)
     EXPECT_NE(hashString("C0"), hashString("C1"));
 }
 
+TEST(Rng, GoldenStreamPinsGeneratorContract)
+{
+    // The exact output stream is part of the library contract (see the
+    // rng.hh header comment): results published from one platform must
+    // reproduce bit-for-bit on any other. These values pin the seeding
+    // path (splitmix64 expansion) and the xoshiro256** step function.
+    Rng r(0x5eedULL);
+    const std::uint64_t expect[4] = {
+        0x7e62888939af659eULL,
+        0x8f1b51a14c1c7c9bULL,
+        0x75b1b6aec14e96dcULL,
+        0x46defa1e990b2e9bULL,
+    };
+    for (std::uint64_t e : expect)
+        ASSERT_EQ(r.next(), e);
+
+    // The default-constructed generator uses seed 0x5eed.
+    Rng d;
+    EXPECT_EQ(d.next(), expect[0]);
+}
+
+TEST(Rng, GoldenDerivedValuesPinHashesAndUniform)
+{
+    EXPECT_EQ(splitmix64(42), 0xbdd732262feb6e95ULL);
+    EXPECT_EQ(hashCombine(1, 2), 0xa3c4449e2626b033ULL);
+    EXPECT_EQ(hashString("hira"), 0xd2438738b1b00752ULL);
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-for-bit, and
+    // these literals are exactly representable outputs of the integer
+    // pipeline, so a 1-ULP divergence must fail.
+    EXPECT_EQ(hashUniform(7, 1, 2, 3), 0.79741486793058791);
+
+    Rng u(123);
+    EXPECT_EQ(u.uniform(), 0.087087627748164365);
+    EXPECT_EQ(u.uniform(), 0.33945713666267274);
+}
+
 TEST(HashRandom, SplitmixAvalanche)
 {
     // Flipping one input bit should flip roughly half the output bits.

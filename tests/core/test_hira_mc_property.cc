@@ -137,8 +137,9 @@ TEST_P(PreventiveProperty, GeneratedEqualsExecutedPlusQueued)
     std::uint64_t queued = mc->table(0).size();
     EXPECT_EQ(mc->stats().preventiveGenerated,
               mc->stats().rowRefreshes + queued);
-    if (pth > 0.0)
+    if (pth > 0.0) {
         EXPECT_GT(mc->stats().preventiveGenerated, 50u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(PthSweep, PreventiveProperty,

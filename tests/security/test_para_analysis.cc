@@ -148,3 +148,46 @@ TEST(ParaAnalysis, LegacyMatchesClosedForm)
     EXPECT_NEAR(logRowHammerSuccessLegacy(p, nrh),
                 nrh * std::log(1.0 - p / 2.0), 1e-12);
 }
+
+TEST(ParaAnalysis, SolvePthMonotonicInSlackN)
+{
+    // Section 9.1 step 4: queueing slack hands the attacker extra
+    // unpunished activations, so the threshold compensating for it can
+    // never decrease as slackN grows.
+    ParaParams pp;
+    for (double nrh : {64.0, 256.0, 1024.0, 4096.0}) {
+        double prev = 0.0;
+        for (int slack_n : {0, 1, 2, 4, 8, 16, 64, 256}) {
+            double p = solvePth(
+                nrh, slackActivations(slack_n * pp.tRC, pp), pp);
+            EXPECT_GE(p, prev)
+                << "nrh=" << nrh << " slackN=" << slack_n;
+            prev = p;
+        }
+    }
+}
+
+TEST(ParaAnalysis, SolvePthClampsToUnitInterval)
+{
+    // Extreme corners: a near-defenseless chip (tiny NRH) with a huge
+    // queueing slack pushes the solver toward pth = 1; a very robust
+    // chip pushes it toward 0. The result must stay within [0, 1] in
+    // both directions rather than diverging or crossing the bounds.
+    ParaParams pp;
+    double hard = solvePth(8.0, slackActivations(1000 * pp.tRC, pp), pp);
+    EXPECT_GT(hard, 0.9);
+    EXPECT_LE(hard, 1.0);
+
+    double easy = solvePth(200000.0, 0.0, pp);
+    EXPECT_GE(easy, 0.0);
+    EXPECT_LT(easy, 0.01);
+
+    for (double nrh : {8.0, 64.0, 1024.0, 100000.0}) {
+        for (int slack_n : {0, 10, 1000}) {
+            double p = solvePth(
+                nrh, slackActivations(slack_n * pp.tRC, pp), pp);
+            EXPECT_GE(p, 0.0) << "nrh=" << nrh << " slackN=" << slack_n;
+            EXPECT_LE(p, 1.0) << "nrh=" << nrh << " slackN=" << slack_n;
+        }
+    }
+}

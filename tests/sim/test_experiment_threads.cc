@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic-threading tests for SweepRunner: the worker pool
+ * (src/sim/experiment.cc) must be a pure parallelization — per-mix
+ * seeds are fixed, results land in per-mix slots, and the alone-IPC
+ * cache is guarded by a mutex — so the thread count must not change
+ * any result bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+using namespace hira;
+
+namespace {
+
+BenchKnobs
+tinyKnobs(int threads)
+{
+    BenchKnobs k;
+    k.mixes = 4;
+    k.cycles = 12000;
+    k.warmup = 3000;
+    k.rows = 64;
+    k.threads = threads;
+    return k;
+}
+
+} // namespace
+
+TEST(SweepRunnerThreads, BaselineMeanWsIdenticalOneVsFourThreads)
+{
+    SweepRunner serial(tinyKnobs(1));
+    SweepRunner pooled(tinyKnobs(4));
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline;
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the summation order over mixes
+    // is fixed by index, so even a low-bit reduction-order divergence
+    // is a scheduling leak and must fail.
+    EXPECT_EQ(serial.meanWs(g, s), pooled.meanWs(g, s));
+}
+
+TEST(SweepRunnerThreads, HiraMcMeanWsAndStatsIdenticalOneVsFourThreads)
+{
+    SweepRunner serial(tinyKnobs(1));
+    SweepRunner pooled(tinyKnobs(4));
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::HiraMc;
+    s.slackN = 2;
+    EXPECT_EQ(serial.meanWs(g, s), pooled.meanWs(g, s));
+
+    const RefreshStats &a = serial.lastRefreshStats();
+    const RefreshStats &b = pooled.lastRefreshStats();
+    EXPECT_EQ(a.refCommands, b.refCommands);
+    EXPECT_EQ(a.rowRefreshes, b.rowRefreshes);
+    EXPECT_EQ(a.accessPaired, b.accessPaired);
+    EXPECT_EQ(a.refreshPaired, b.refreshPaired);
+    EXPECT_EQ(a.standalone, b.standalone);
+    EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+}
+
+TEST(SweepRunnerThreads, RepeatedCallsOnOneRunnerStayStable)
+{
+    // The alone-IPC cache fills on the first call; the second call hits
+    // it. Both paths must produce the same mean weighted speedup.
+    SweepRunner runner(tinyKnobs(4));
+    GeomSpec g;
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline;
+    double first = runner.meanWs(g, s);
+    double second = runner.meanWs(g, s);
+    EXPECT_EQ(first, second);
+}
