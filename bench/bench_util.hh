@@ -3,22 +3,178 @@
  * Shared helpers for the benchmark harnesses: headered series printing
  * in the layout of the paper's tables/figures, and paper-vs-measured
  * annotation.
+ *
+ * When HIRA_JSON=<dir> is set, every series the driver prints is also
+ * captured and written to <dir>/BENCH_<driver>.json on footer() —
+ * title, knob scale, git revision (configure-time), sections with
+ * columns and rows — so figure trajectories can be tracked across PRs
+ * without scraping stdout.
  */
 
 #ifndef HIRA_BENCH_BENCH_UTIL_HH
 #define HIRA_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include "common/knobs.hh"
 #include "common/logging.hh"
+
+#ifndef HIRA_GIT_REV
+#define HIRA_GIT_REV "unknown"
+#endif
 
 namespace hira {
 namespace benchutil {
 
 using hira::strprintf;
+
+namespace detail {
+
+/** One seriesHeader() + its seriesRow()s. */
+struct JsonSection
+{
+    std::string label;
+    std::vector<std::string> columns;
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+};
+
+/** Capture state for the optional BENCH_<driver>.json artifact. */
+struct JsonCapture
+{
+    std::string dir;   //!< empty: capture disabled
+    std::string title;
+    std::string paperRef;
+    bool haveKnobs = false;
+    BenchKnobs knobs;
+    std::vector<JsonSection> sections;
+    std::vector<std::string> notes;
+    bool written = false;
+};
+
+inline JsonCapture &
+capture()
+{
+    static JsonCapture c;
+    return c;
+}
+
+inline std::string
+driverName()
+{
+#if defined(__GLIBC__)
+    return program_invocation_short_name;
+#elif defined(__APPLE__) || defined(__FreeBSD__)
+    return getprogname();
+#else
+    return "bench"; // unknown libc: drivers share one JSON file
+#endif
+}
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** JSON has no NaN/Inf literals; emit null for them. */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    return strprintf("%.9g", v);
+}
+
+inline void
+writeJson()
+{
+    JsonCapture &cap = capture();
+    if (cap.dir.empty() || cap.written)
+        return;
+    cap.written = true;
+    // Best-effort: a missing directory is created one level deep.
+    ::mkdir(cap.dir.c_str(), 0777);
+    std::string path = cap.dir + "/BENCH_" + driverName() + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("HIRA_JSON: cannot write %s: %s", path.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    std::fprintf(f, "{\n  \"driver\": \"%s\",\n  \"git_rev\": \"%s\",\n",
+                 jsonEscape(driverName()).c_str(),
+                 jsonEscape(HIRA_GIT_REV).c_str());
+    std::fprintf(f, "  \"title\": \"%s\",\n  \"reproduces\": \"%s\",\n",
+                 jsonEscape(cap.title).c_str(),
+                 jsonEscape(cap.paperRef).c_str());
+    if (cap.haveKnobs) {
+        std::fprintf(f,
+                     "  \"knobs\": {\"mixes\": %d, \"cycles\": %lld, "
+                     "\"warmup\": %lld, \"rows\": %d, \"threads\": %d, "
+                     "\"cores\": %d},\n",
+                     cap.knobs.mixes,
+                     static_cast<long long>(cap.knobs.cycles),
+                     static_cast<long long>(cap.knobs.warmup),
+                     cap.knobs.rows, cap.knobs.threads, cap.knobs.cores);
+    }
+    std::fprintf(f, "  \"notes\": [");
+    for (std::size_t i = 0; i < cap.notes.size(); ++i) {
+        std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "",
+                     jsonEscape(cap.notes[i]).c_str());
+    }
+    std::fprintf(f, "],\n  \"sections\": [\n");
+    for (std::size_t s = 0; s < cap.sections.size(); ++s) {
+        const JsonSection &sec = cap.sections[s];
+        std::fprintf(f, "    {\"label\": \"%s\", \"columns\": [",
+                     jsonEscape(sec.label).c_str());
+        for (std::size_t i = 0; i < sec.columns.size(); ++i) {
+            std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "",
+                         jsonEscape(sec.columns[i]).c_str());
+        }
+        std::fprintf(f, "], \"rows\": [\n");
+        for (std::size_t r = 0; r < sec.rows.size(); ++r) {
+            std::fprintf(f, "      {\"label\": \"%s\", \"values\": [",
+                         jsonEscape(sec.rows[r].first).c_str());
+            const std::vector<double> &vals = sec.rows[r].second;
+            for (std::size_t i = 0; i < vals.size(); ++i) {
+                std::fprintf(f, "%s%s", i > 0 ? ", " : "",
+                             jsonNumber(vals[i]).c_str());
+            }
+            std::fprintf(f, "]}%s\n", r + 1 < sec.rows.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]}%s\n",
+                     s + 1 < cap.sections.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    inform("HIRA_JSON: wrote %s", path.c_str());
+}
+
+} // namespace detail
 
 inline void
 banner(const std::string &title, const std::string &paper_ref)
@@ -29,16 +185,38 @@ banner(const std::string &title, const std::string &paper_ref)
     std::printf("reproduces: %s\n", paper_ref.c_str());
     std::printf("-----------------------------------------------------------"
                 "---------------------\n");
+    detail::JsonCapture &cap = detail::capture();
+    const char *dir = std::getenv("HIRA_JSON");
+    cap.dir = dir != nullptr ? dir : "";
+    cap.title = title;
+    cap.paperRef = paper_ref;
 }
 
 inline void
 knobsLine(const BenchKnobs &k)
 {
     std::printf("scale: HIRA_MIXES=%d HIRA_CYCLES=%lld HIRA_WARMUP=%lld "
-                "HIRA_ROWS=%d HIRA_THREADS=%d (paper scale: 125 mixes, "
-                "200M instrs, 6K rows)\n",
+                "HIRA_ROWS=%d HIRA_THREADS=%d HIRA_CORES=%d (paper scale: "
+                "125 mixes, 200M instrs, 6K rows, 8 cores)\n",
                 k.mixes, static_cast<long long>(k.cycles),
-                static_cast<long long>(k.warmup), k.rows, k.threads);
+                static_cast<long long>(k.warmup), k.rows, k.threads,
+                k.cores);
+    detail::capture().knobs = k;
+    detail::capture().haveKnobs = true;
+}
+
+inline void
+seriesHeader(const std::string &label,
+             const std::vector<std::string> &columns)
+{
+    std::printf("%-24s", label.c_str());
+    for (const std::string &c : columns)
+        std::printf("%9s", c.c_str());
+    std::printf("\n");
+    detail::JsonSection sec;
+    sec.label = label;
+    sec.columns = columns;
+    detail::capture().sections.push_back(std::move(sec));
 }
 
 /** Print one row of a fixed-width series table. */
@@ -50,22 +228,17 @@ seriesRow(const std::string &label, const std::vector<double> &values,
     for (double v : values)
         std::printf(fmt, v);
     std::printf("\n");
-}
-
-inline void
-seriesHeader(const std::string &label,
-             const std::vector<std::string> &columns)
-{
-    std::printf("%-24s", label.c_str());
-    for (const std::string &c : columns)
-        std::printf("%9s", c.c_str());
-    std::printf("\n");
+    detail::JsonCapture &cap = detail::capture();
+    if (cap.sections.empty())
+        cap.sections.push_back(detail::JsonSection{});
+    cap.sections.back().rows.emplace_back(label, values);
 }
 
 inline void
 note(const std::string &text)
 {
     std::printf("note: %s\n", text.c_str());
+    detail::capture().notes.push_back(text);
 }
 
 inline void
@@ -73,6 +246,7 @@ footer()
 {
     std::printf("==========================================================="
                 "=====================\n\n");
+    detail::writeJson();
 }
 
 } // namespace benchutil

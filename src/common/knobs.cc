@@ -73,6 +73,9 @@ BenchKnobs::fromEnv()
     int hw = static_cast<int>(std::thread::hardware_concurrency());
     k.threads = static_cast<int>(
         envKnobClamped("HIRA_THREADS", hw > 0 ? hw : 4, 1, kIntMax));
+    // 1024 cores is far past anything the model is calibrated for, but
+    // bounds memory: each core carries a window plus a trace source.
+    k.cores = static_cast<int>(envKnobClamped("HIRA_CORES", 8, 1, 1024));
     return k;
 }
 

@@ -23,16 +23,18 @@ double envKnobDouble(const std::string &name, double fallback);
 /** Bench-scale knobs used across all harnesses. */
 struct BenchKnobs
 {
-    /** Number of 8-core workload mixes per data point (paper: 125). */
-    int mixes;
+    /** Number of workload mixes per data point (paper: 125). */
+    int mixes = 6;
     /** Measured memory-bus cycles per simulation (paper: 200M instrs). */
-    std::int64_t cycles;
+    std::int64_t cycles = 150000;
     /** Warmup memory-bus cycles. */
-    std::int64_t warmup;
+    std::int64_t warmup = 30000;
     /** Rows per bank tested by characterization harnesses (paper: 6K). */
-    int rows;
+    int rows = 256;
     /** Worker threads for simulation sweeps. */
-    int threads;
+    int threads = 4;
+    /** Cores per workload mix (paper: 8). */
+    int cores = 8;
 
     static BenchKnobs fromEnv();
 };

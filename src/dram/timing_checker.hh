@@ -48,8 +48,8 @@ class TimingChecker
     TimingCycles tc;
 };
 
-/** Append-only trace recorder controllers can optionally feed. */
-class TraceRecorder
+/** Append-only command-trace recorder controllers can optionally feed. */
+class CommandTraceRecorder
 {
   public:
     void

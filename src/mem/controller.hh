@@ -193,7 +193,7 @@ class MemoryController
     int preventiveCursor = 0;
 
     ControllerStats stats_;
-    TraceRecorder recorder;
+    CommandTraceRecorder recorder;
 };
 
 } // namespace hira

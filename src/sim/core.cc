@@ -4,7 +4,7 @@
 
 namespace hira {
 
-CoreModel::CoreModel(int core_id, TraceGen &trace, Llc &shared_llc,
+CoreModel::CoreModel(int core_id, TraceSource &trace, Llc &shared_llc,
                      int issue_width, int window_entries)
     : id(core_id), gen(trace), llc(shared_llc), width(issue_width),
       windowSize(window_entries)

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "sim/cache.hh"
-#include "sim/trace.hh"
+#include "workload/trace_source.hh"
 
 namespace hira {
 
@@ -22,12 +22,12 @@ class CoreModel
   public:
     /**
      * @param core_id core id
-     * @param trace this core's trace generator (owned by caller)
+     * @param trace this core's trace source (owned by caller)
      * @param shared_llc the shared LLC
      * @param issue_width issue/retire width (4)
      * @param window instruction-window entries (128)
      */
-    CoreModel(int core_id, TraceGen &trace, Llc &shared_llc,
+    CoreModel(int core_id, TraceSource &trace, Llc &shared_llc,
               int issue_width = 4, int window = 128);
 
     /** Advance one CPU cycle (@p mem_now is the memory-clock time). */
@@ -68,7 +68,7 @@ class CoreModel
     void retireReady();
 
     int id;
-    TraceGen &gen;
+    TraceSource &gen;
     Llc &llc;
     int width;
     int windowSize;

@@ -110,7 +110,13 @@ weightedSpeedup(const std::vector<double> &ipc_shared,
 
 SweepRunner::SweepRunner(const BenchKnobs &k) : knobs(k)
 {
-    mixes_ = makeMixes(knobs.mixes, 8);
+    mixes_ = makeMixes(knobs.mixes, knobs.cores);
+}
+
+SweepRunner::SweepRunner(const BenchKnobs &k, std::vector<WorkloadMix> mixes)
+    : knobs(k), mixes_(std::move(mixes))
+{
+    hira_assert(!mixes_.empty());
 }
 
 double

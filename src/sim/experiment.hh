@@ -81,6 +81,14 @@ class SweepRunner
   public:
     explicit SweepRunner(const BenchKnobs &knobs);
 
+    /**
+     * Evaluate an explicit mix set instead of the generated one. Mix
+     * entries are workload specs (pool names or "file:" traces, see
+     * src/workload/registry.hh); synthetic and file-backed workloads
+     * can share a mix.
+     */
+    SweepRunner(const BenchKnobs &knobs, std::vector<WorkloadMix> mixes);
+
     /** The mixes this runner evaluates (knobs.mixes of the 125). */
     const std::vector<WorkloadMix> &mixes() const { return mixes_; }
 

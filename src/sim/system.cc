@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "common/logging.hh"
+#include "workload/registry.hh"
 
 namespace hira {
 
@@ -44,16 +45,27 @@ System::System(const SystemConfig &config)
             cores[static_cast<std::size_t>(core_id)]->onDataReturn(tag);
         });
 
-    // Cores with private address-space slices.
+    // Cores with private address-space slices; workload specs resolve
+    // through the registry (synthetic pool names or "file:" traces).
     std::size_t ncores = cfg.mix.size();
     hira_assert(ncores > 0);
     Addr slice = mapper.addressSpaceBytes() / ncores;
     for (std::size_t i = 0; i < ncores; ++i) {
-        const BenchmarkProfile &prof = benchmarkByName(cfg.mix[i]);
-        gens.push_back(std::make_unique<TraceGen>(
-            prof, hashCombine(cfg.seed, 0xc04e + i), slice * i, slice));
+        std::unique_ptr<TraceSource> src =
+            WorkloadRegistry::global().makeSource(
+                cfg.mix[i], hashCombine(cfg.seed, 0xc04e + i), slice * i,
+                slice);
+        if (!cfg.traceDumpDir.empty()) {
+            std::string path = strprintf(
+                "%s/core%zu.%s", cfg.traceDumpDir.c_str(), i,
+                cfg.traceDumpFormat == TraceFormat::Binary ? "bin"
+                                                           : "trace");
+            src = std::make_unique<TraceRecorder>(std::move(src), path,
+                                                  cfg.traceDumpFormat);
+        }
+        sources.push_back(std::move(src));
         cores.push_back(std::make_unique<CoreModel>(
-            static_cast<int>(i), *gens.back(), *llc, cfg.coreWidth,
+            static_cast<int>(i), *sources.back(), *llc, cfg.coreWidth,
             cfg.windowEntries));
     }
 }

@@ -16,6 +16,7 @@
 #include "mem/controller.hh"
 #include "sim/core.hh"
 #include "sim/workloads.hh"
+#include "workload/file_trace.hh"
 
 namespace hira {
 
@@ -36,12 +37,21 @@ struct SystemConfig
     int refPostpone = 0;        //!< Baseline: max postponed REFs [161]
     HiraMcConfig hira;          //!< used when scheme == HiraMc
     ParaConfig para;            //!< immediate PARA (non-HiRA preventive)
-    WorkloadMix mix;            //!< benchmark per core
+    WorkloadMix mix;            //!< workload spec per core (registry syntax)
     std::uint64_t seed = 1;
     LlcConfig llc;
     int coreWidth = 4;
     int windowEntries = 128;
     bool recordTraces = false;  //!< feed TimingChecker recorders
+
+    /**
+     * When non-empty, dump each core's instruction stream to
+     * <traceDumpDir>/core<i>.trace (text) or .bin (binary) for replay
+     * through "file:" mix specs. The directory must exist; files are
+     * complete once the System is destroyed.
+     */
+    std::string traceDumpDir;
+    TraceFormat traceDumpFormat = TraceFormat::Text;
 };
 
 /** Post-run summary. */
@@ -84,7 +94,7 @@ class System
     AddressMapper mapper;
     std::vector<std::unique_ptr<MemoryController>> controllers;
     std::unique_ptr<Llc> llc;
-    std::vector<std::unique_ptr<TraceGen>> gens;
+    std::vector<std::unique_ptr<TraceSource>> sources;
     std::vector<std::unique_ptr<CoreModel>> cores;
 
     Cycle memCycle = 0;

@@ -17,6 +17,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "workload/trace_source.hh"
 
 namespace hira {
 
@@ -32,16 +33,8 @@ struct BenchmarkProfile
     std::uint64_t hotLines;       //!< hot-set size, 64 B lines
 };
 
-/** One generated instruction. */
-struct TraceInst
-{
-    bool isMem = false;
-    bool isWrite = false;
-    Addr addr = 0; //!< line-aligned, within the core's slice
-};
-
-/** Deterministic trace generator for one core. */
-class TraceGen
+/** Deterministic synthetic trace generator for one core. */
+class TraceGen final : public TraceSource
 {
   public:
     /**
@@ -54,7 +47,9 @@ class TraceGen
              Addr base_addr, Addr slice_bytes);
 
     /** Generate the next instruction. */
-    TraceInst next();
+    TraceInst next() override;
+
+    Addr regionBase() const override { return base; }
 
     const BenchmarkProfile &profile() const { return prof; }
 

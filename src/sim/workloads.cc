@@ -1,6 +1,7 @@
 #include "sim/workloads.hh"
 
 #include "common/logging.hh"
+#include "workload/registry.hh"
 
 namespace hira {
 
@@ -43,7 +44,13 @@ benchmarkByName(const std::string &name)
         if (p.name == name)
             return p;
     }
-    fatal("unknown benchmark profile '%s'", name.c_str());
+    std::string names;
+    for (const BenchmarkProfile &p : benchmarkPool())
+        names += (names.empty() ? "" : ", ") + p.name;
+    fatal("unknown benchmark profile '%s'; the synthetic pool has: %s; "
+          "workload specs also accept %s",
+          name.c_str(), names.c_str(),
+          WorkloadRegistry::specSyntax().c_str());
 }
 
 std::vector<WorkloadMix>

@@ -1,0 +1,105 @@
+#include "workload/registry.hh"
+
+#include "common/logging.hh"
+#include "sim/workloads.hh"
+#include "workload/file_trace.hh"
+
+namespace hira {
+
+namespace {
+
+/** "file:<path>[?loop|?once]" -> FileTraceSource. */
+std::unique_ptr<TraceSource>
+makeFileSource(const std::string &arg, std::uint64_t /*seed*/, Addr base,
+               Addr slice_bytes)
+{
+    std::string path = arg;
+    FileTraceOptions opts;
+    std::size_t q = path.rfind('?');
+    if (q != std::string::npos) {
+        std::string opt = path.substr(q + 1);
+        path.erase(q);
+        if (opt == "once")
+            opts.loop = false;
+        else if (opt == "loop")
+            opts.loop = true;
+        else {
+            fatal("unknown trace option '?%s' in 'file:%s' "
+                  "(supported: ?loop, ?once)",
+                  opt.c_str(), arg.c_str());
+        }
+    }
+    if (path.empty())
+        fatal("empty path in workload spec 'file:%s'", arg.c_str());
+    return std::make_unique<FileTraceSource>(path, base, slice_bytes, opts);
+}
+
+} // namespace
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    registerScheme("file", makeFileSource);
+}
+
+WorkloadRegistry &
+WorkloadRegistry::global()
+{
+    static WorkloadRegistry reg;
+    return reg;
+}
+
+void
+WorkloadRegistry::registerScheme(const std::string &scheme, Factory factory)
+{
+    factories[scheme] = std::move(factory);
+}
+
+std::vector<std::string>
+WorkloadRegistry::schemes() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : factories)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+WorkloadRegistry::specSyntax()
+{
+    return "a synthetic pool name or 'file:<path>[?once]'";
+}
+
+bool
+WorkloadRegistry::known(const std::string &spec) const
+{
+    std::size_t colon = spec.find(':');
+    if (colon != std::string::npos)
+        return factories.count(spec.substr(0, colon)) > 0;
+    for (const BenchmarkProfile &p : benchmarkPool()) {
+        if (p.name == spec)
+            return true;
+    }
+    return false;
+}
+
+std::unique_ptr<TraceSource>
+WorkloadRegistry::makeSource(const std::string &spec, std::uint64_t seed,
+                             Addr base, Addr slice_bytes) const
+{
+    std::size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+        std::string scheme = spec.substr(0, colon);
+        auto it = factories.find(scheme);
+        if (it == factories.end()) {
+            fatal("unknown workload scheme '%s:' in spec '%s'; expected %s",
+                  scheme.c_str(), spec.c_str(), specSyntax().c_str());
+        }
+        return it->second(spec.substr(colon + 1), seed, base, slice_bytes);
+    }
+    // Plain name: the synthetic pool (fatal with the available names on
+    // a miss, see benchmarkByName).
+    return std::make_unique<TraceGen>(benchmarkByName(spec), seed, base,
+                                      slice_bytes);
+}
+
+} // namespace hira

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The polymorphic instruction-trace source interface.
+ *
+ * A TraceSource yields one TraceInst per call, forever. Implementations
+ * are the synthetic TraceGen (src/sim/trace.hh), the on-disk
+ * FileTraceSource, and the pass-through TraceRecorder
+ * (src/workload/file_trace.hh). Cores pull from the interface and never
+ * care where the stream comes from.
+ */
+
+#ifndef HIRA_WORKLOAD_TRACE_SOURCE_HH
+#define HIRA_WORKLOAD_TRACE_SOURCE_HH
+
+#include "common/types.hh"
+
+namespace hira {
+
+/** One trace instruction. */
+struct TraceInst
+{
+    bool isMem = false;
+    bool isWrite = false;
+    Addr addr = 0; //!< line-aligned, within the source's address region
+};
+
+/** Abstract source of an instruction stream for one core. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction. Infinite: finite sources that have
+     * run out (see exhausted()) keep returning non-memory instructions.
+     */
+    virtual TraceInst next() = 0;
+
+    /**
+     * Start of the address region memory accesses are mapped into.
+     * TraceRecorder subtracts this when writing, so trace files store
+     * region-relative addresses and replay into any core's slice.
+     */
+    virtual Addr regionBase() const { return 0; }
+
+    /**
+     * True once a finite, non-looping source has run dry (its next()
+     * now only returns non-memory instructions). Unbounded sources
+     * always return false.
+     */
+    virtual bool exhausted() const { return false; }
+};
+
+} // namespace hira
+
+#endif // HIRA_WORKLOAD_TRACE_SOURCE_HH
