@@ -3,7 +3,9 @@
  * Fig. 9 reproduction: periodic-refresh performance vs DRAM chip
  * capacity (2..128 Gb) for the REF baseline and HiRA-{0,2,4,8},
  * normalized to the ideal No-Refresh system (9a) and to the baseline
- * (9b). 8-core multiprogrammed mixes, weighted speedup.
+ * (9b). 8-core multiprogrammed mixes, weighted speedup. The whole
+ * scheme x capacity grid (No-Refresh references included) runs as one
+ * sharded SweepRunner::runPoints() drain.
  */
 
 #include "bench_util.hh"
@@ -40,24 +42,32 @@ main()
         }
     }
 
-    // No-Refresh reference per capacity.
-    std::vector<double> noref;
+    SweepGrid grid;
+    std::vector<std::size_t> noref_ids;
     for (double cap : capacities) {
         GeomSpec g;
         g.capacityGb = cap;
         SchemeSpec none;
         none.kind = SchemeKind::NoRefresh;
-        noref.push_back(runner.meanWs(g, none));
+        noref_ids.push_back(grid.add(g, none));
     }
-
-    std::vector<std::vector<double>> ws(schemes.size());
+    std::vector<std::vector<std::size_t>> ids(schemes.size());
     for (std::size_t si = 0; si < schemes.size(); ++si) {
         for (double cap : capacities) {
             GeomSpec g;
             g.capacityGb = cap;
-            ws[si].push_back(runner.meanWs(g, schemes[si]));
+            ids[si].push_back(grid.add(g, schemes[si]));
         }
     }
+    grid.run(runner);
+
+    std::vector<double> noref;
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci)
+        noref.push_back(grid.ws(noref_ids[ci]));
+    std::vector<std::vector<double>> ws(schemes.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si)
+        for (std::size_t ci = 0; ci < capacities.size(); ++ci)
+            ws[si].push_back(grid.ws(ids[si][ci]));
 
     std::printf("Fig. 9a: weighted speedup normalized to No Refresh\n");
     seriesHeader("scheme", cols);

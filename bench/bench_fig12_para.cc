@@ -4,7 +4,8 @@
  * HiRA across RowHammer thresholds (1024 down to 64), normalized to a
  * baseline with no RowHammer defense (12a) and to plain PARA (12b).
  * Periodic refresh stays on REF commands; HiRA serves the preventive
- * refreshes (Section 9.2).
+ * refreshes (Section 9.2). The scheme x threshold grid runs as one
+ * sharded SweepRunner::runPoints() drain.
  */
 
 #include "bench_util.hh"
@@ -24,51 +25,32 @@ main()
 
     SweepRunner runner(knobs);
     const std::vector<double> nrh_values = {1024, 512, 256, 128, 64};
+    const std::vector<int> slacks = {-1, 0, 2, 4, 8}; // -1: plain PARA
     std::vector<std::string> cols;
     for (double n : nrh_values)
         cols.push_back(strprintf("NRH=%.0f", n));
 
     // Reference: baseline refresh, no RowHammer defense.
-    std::vector<double> base_ws;
-    {
-        SchemeSpec base;
-        base.kind = SchemeKind::Baseline;
-        GeomSpec g;
-        double ws = runner.meanWs(g, base);
-        base_ws.assign(nrh_values.size(), ws);
-    }
+    SweepGrid grid;
+    GeomSpec g;
+    SchemeSpec base;
+    base.kind = SchemeKind::Baseline;
+    std::size_t base_id = grid.add(g, base);
 
-    // PARA without HiRA, then HiRA-{0,2,4,8} for the preventives.
-    std::vector<std::vector<double>> ws;
+    std::vector<std::vector<std::size_t>> ids(slacks.size());
     std::vector<std::string> labels;
-    {
-        std::vector<double> row;
-        for (double nrh : nrh_values) {
-            SchemeSpec s;
-            s.kind = SchemeKind::Baseline;
-            s.paraEnabled = true;
-            s.nrh = nrh;
-            GeomSpec g;
-            row.push_back(runner.meanWs(g, s));
-        }
-        ws.push_back(row);
-        labels.push_back("PARA");
+    for (std::size_t si = 0; si < slacks.size(); ++si) {
+        for (double nrh : nrh_values)
+            ids[si].push_back(grid.add(g, paraScheme(nrh, slacks[si])));
+        labels.push_back(paraSchemeLabel(slacks[si]));
     }
-    for (int n : {0, 2, 4, 8}) {
-        std::vector<double> row;
-        for (double nrh : nrh_values) {
-            SchemeSpec s;
-            s.kind = SchemeKind::Baseline; // periodic stays on REF
-            s.paraEnabled = true;
-            s.preventiveViaHira = true;
-            s.slackN = n;
-            s.nrh = nrh;
-            GeomSpec g;
-            row.push_back(runner.meanWs(g, s));
-        }
-        ws.push_back(row);
-        labels.push_back(strprintf("HiRA-%d", n));
-    }
+    grid.run(runner);
+
+    std::vector<double> base_ws(nrh_values.size(), grid.ws(base_id));
+    std::vector<std::vector<double>> ws(slacks.size());
+    for (std::size_t si = 0; si < slacks.size(); ++si)
+        for (std::size_t ni = 0; ni < nrh_values.size(); ++ni)
+            ws[si].push_back(grid.ws(ids[si][ni]));
 
     std::printf("Fig. 12a: weighted speedup normalized to no-defense "
                 "baseline\n");

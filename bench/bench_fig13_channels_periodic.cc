@@ -2,7 +2,9 @@
  * @file
  * Fig. 13 reproduction: effect of channel count (1..8) on Baseline and
  * HiRA-{2,4} periodic-refresh performance for 2 / 8 / 32 Gb chips,
- * normalized to the 1-channel 1-rank baseline.
+ * normalized to the 1-channel 1-rank baseline. The full
+ * capacity x scheme x channel grid is declared up front and sharded
+ * over the worker pool in one SweepRunner::runPoints() drain.
  */
 
 #include "bench_util.hh"
@@ -21,38 +23,45 @@ main()
     knobsLine(knobs);
 
     SweepRunner runner(knobs);
+    const std::vector<double> capacities = {2.0, 8.0, 32.0};
     const std::vector<int> channels = {1, 2, 4, 8};
+    const std::vector<std::string> schemes = {"Baseline", "HiRA-2",
+                                              "HiRA-4"};
     std::vector<std::string> cols;
     for (int ch : channels)
         cols.push_back(strprintf("%dch", ch));
 
-    for (double cap : {2.0, 8.0, 32.0}) {
-        GeomSpec ref;
-        ref.capacityGb = cap;
-        SchemeSpec base;
-        base.kind = SchemeKind::Baseline;
-        double ws_ref = runner.meanWs(ref, base);
-
-        std::printf("%.0f Gb chips (normalized to 1ch-1rank "
-                    "baseline)\n",
-                    cap);
-        seriesHeader("scheme", cols);
-        for (const char *label : {"Baseline", "HiRA-2", "HiRA-4"}) {
-            SchemeSpec s;
-            if (std::string(label) == "Baseline") {
-                s.kind = SchemeKind::Baseline;
-            } else {
-                s.kind = SchemeKind::HiraMc;
-                s.slackN = std::string(label) == "HiRA-2" ? 2 : 4;
-            }
-            std::vector<double> row;
+    // Declare the whole grid, then evaluate it in one sharded drain.
+    // The 1ch-1rank Baseline reference IS the first Baseline row
+    // entry, so it needs no extra sweep point.
+    SweepGrid grid;
+    std::vector<std::vector<std::vector<std::size_t>>> ids(
+        capacities.size());
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+        for (const std::string &label : schemes) {
+            std::vector<std::size_t> row;
             for (int ch : channels) {
                 GeomSpec g;
-                g.capacityGb = cap;
+                g.capacityGb = capacities[ci];
                 g.channels = ch;
-                row.push_back(runner.meanWs(g, s) / ws_ref);
+                row.push_back(grid.add(g, periodicScheme(label)));
             }
-            seriesRow(label, row);
+            ids[ci].push_back(row);
+        }
+    }
+    grid.run(runner);
+
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+        double ws_ref = grid.ws(ids[ci][0][0]); // Baseline @ 1ch
+        std::printf("%.0f Gb chips (normalized to 1ch-1rank "
+                    "baseline)\n",
+                    capacities[ci]);
+        seriesHeader("scheme", cols);
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            std::vector<double> row;
+            for (std::size_t chi = 0; chi < channels.size(); ++chi)
+                row.push_back(grid.ws(ids[ci][si][chi]) / ws_ref);
+            seriesRow(schemes[si], row);
         }
         std::printf("\n");
     }

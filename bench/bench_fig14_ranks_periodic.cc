@@ -3,7 +3,9 @@
  * Fig. 14 reproduction: effect of rank count (1..8) on Baseline and
  * HiRA-{2,4} periodic-refresh performance for 2 / 8 / 32 Gb chips.
  * Ranks share one command bus, so high rank counts expose HiRA's
- * command-bus pressure (Section 12, third limitation).
+ * command-bus pressure (Section 12, third limitation). The full
+ * capacity x scheme x rank grid runs as one sharded
+ * SweepRunner::runPoints() drain.
  */
 
 #include "bench_util.hh"
@@ -23,38 +25,44 @@ main()
     knobsLine(knobs);
 
     SweepRunner runner(knobs);
+    const std::vector<double> capacities = {2.0, 8.0, 32.0};
     const std::vector<int> ranks = {1, 2, 4, 8};
+    const std::vector<std::string> schemes = {"Baseline", "HiRA-2",
+                                              "HiRA-4"};
     std::vector<std::string> cols;
     for (int r : ranks)
         cols.push_back(strprintf("%drk", r));
 
-    for (double cap : {2.0, 8.0, 32.0}) {
-        GeomSpec ref;
-        ref.capacityGb = cap;
-        SchemeSpec base;
-        base.kind = SchemeKind::Baseline;
-        double ws_ref = runner.meanWs(ref, base);
-
-        std::printf("%.0f Gb chips (normalized to 1ch-1rank "
-                    "baseline)\n",
-                    cap);
-        seriesHeader("scheme", cols);
-        for (const char *label : {"Baseline", "HiRA-2", "HiRA-4"}) {
-            SchemeSpec s;
-            if (std::string(label) == "Baseline") {
-                s.kind = SchemeKind::Baseline;
-            } else {
-                s.kind = SchemeKind::HiraMc;
-                s.slackN = std::string(label) == "HiRA-2" ? 2 : 4;
-            }
-            std::vector<double> row;
+    // The 1ch-1rank Baseline reference IS the first Baseline row
+    // entry, so it needs no extra sweep point.
+    SweepGrid grid;
+    std::vector<std::vector<std::vector<std::size_t>>> ids(
+        capacities.size());
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+        for (const std::string &label : schemes) {
+            std::vector<std::size_t> row;
             for (int r : ranks) {
                 GeomSpec g;
-                g.capacityGb = cap;
+                g.capacityGb = capacities[ci];
                 g.ranks = r;
-                row.push_back(runner.meanWs(g, s) / ws_ref);
+                row.push_back(grid.add(g, periodicScheme(label)));
             }
-            seriesRow(label, row);
+            ids[ci].push_back(row);
+        }
+    }
+    grid.run(runner);
+
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+        double ws_ref = grid.ws(ids[ci][0][0]); // Baseline @ 1rk
+        std::printf("%.0f Gb chips (normalized to 1ch-1rank "
+                    "baseline)\n",
+                    capacities[ci]);
+        seriesHeader("scheme", cols);
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            std::vector<double> row;
+            for (std::size_t ri = 0; ri < ranks.size(); ++ri)
+                row.push_back(grid.ws(ids[ci][si][ri]) / ws_ref);
+            seriesRow(schemes[si], row);
         }
         std::printf("\n");
     }

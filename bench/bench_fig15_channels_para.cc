@@ -2,7 +2,9 @@
  * @file
  * Fig. 15 reproduction: effect of channel count (1..8) on PARA with and
  * without HiRA for RowHammer thresholds 1024 / 256 / 64, normalized to
- * the 1-channel 1-rank no-defense baseline.
+ * the 1-channel 1-rank no-defense baseline. The full
+ * threshold x scheme x channel grid runs as one sharded
+ * SweepRunner::runPoints() drain.
  */
 
 #include "bench_util.hh"
@@ -22,38 +24,46 @@ main()
     knobsLine(knobs);
 
     SweepRunner runner(knobs);
+    const std::vector<double> nrh_values = {1024.0, 256.0, 64.0};
+    const std::vector<int> slacks = {-1, 2, 4}; // -1: plain PARA
     const std::vector<int> channels = {1, 2, 4, 8};
     std::vector<std::string> cols;
     for (int ch : channels)
         cols.push_back(strprintf("%dch", ch));
 
+    SweepGrid grid;
     GeomSpec ref;
     SchemeSpec base;
     base.kind = SchemeKind::Baseline;
-    double ws_ref = runner.meanWs(ref, base);
+    std::size_t ref_id = grid.add(ref, base);
 
-    for (double nrh : {1024.0, 256.0, 64.0}) {
-        std::printf("NRH = %.0f (normalized to 1ch-1rank no-defense "
-                    "baseline)\n",
-                    nrh);
-        seriesHeader("scheme", cols);
-        for (int slack : {-1, 2, 4}) {
-            SchemeSpec s;
-            s.kind = SchemeKind::Baseline;
-            s.paraEnabled = true;
-            s.nrh = nrh;
-            std::string label = "PARA";
-            if (slack >= 0) {
-                s.preventiveViaHira = true;
-                s.slackN = slack;
-                label = strprintf("HiRA-%d", slack);
-            }
-            std::vector<double> row;
+    std::vector<std::vector<std::vector<std::size_t>>> ids(
+        nrh_values.size());
+    for (std::size_t ni = 0; ni < nrh_values.size(); ++ni) {
+        for (int slack : slacks) {
+            std::vector<std::size_t> row;
             for (int ch : channels) {
                 GeomSpec g;
                 g.channels = ch;
-                row.push_back(runner.meanWs(g, s) / ws_ref);
+                row.push_back(
+                    grid.add(g, paraScheme(nrh_values[ni], slack)));
             }
+            ids[ni].push_back(row);
+        }
+    }
+    grid.run(runner);
+    double ws_ref = grid.ws(ref_id);
+
+    for (std::size_t ni = 0; ni < nrh_values.size(); ++ni) {
+        std::printf("NRH = %.0f (normalized to 1ch-1rank no-defense "
+                    "baseline)\n",
+                    nrh_values[ni]);
+        seriesHeader("scheme", cols);
+        for (std::size_t si = 0; si < slacks.size(); ++si) {
+            std::string label = paraSchemeLabel(slacks[si]);
+            std::vector<double> row;
+            for (std::size_t chi = 0; chi < channels.size(); ++chi)
+                row.push_back(grid.ws(ids[ni][si][chi]) / ws_ref);
             seriesRow(label, row);
         }
         std::printf("\n");

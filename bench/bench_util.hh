@@ -27,6 +27,7 @@
 
 #include "common/knobs.hh"
 #include "common/logging.hh"
+#include "sim/experiment.hh"
 
 #ifndef HIRA_GIT_REV
 #define HIRA_GIT_REV "unknown"
@@ -240,6 +241,94 @@ note(const std::string &text)
     std::printf("note: %s\n", text.c_str());
     detail::capture().notes.push_back(text);
 }
+
+/**
+ * Periodic-refresh scheme from its display label ("Baseline" or
+ * "HiRA-<N>"), as swept by the fig13/fig14 geometry drivers.
+ */
+inline SchemeSpec
+periodicScheme(const std::string &label)
+{
+    SchemeSpec s;
+    if (label == "Baseline") {
+        s.kind = SchemeKind::Baseline;
+    } else {
+        hira_assert(label.rfind("HiRA-", 0) == 0);
+        s.kind = SchemeKind::HiraMc;
+        s.slackN = std::atoi(label.c_str() + 5);
+    }
+    return s;
+}
+
+/**
+ * PARA preventive-refresh scheme at RowHammer threshold @p nrh:
+ * plain immediate PARA for @p slack < 0 (label "PARA"), HiRA-served
+ * with tRefSlack = slack * tRC otherwise (label "HiRA-<slack>").
+ * Periodic refresh stays on REF commands (Section 9.2), as swept by
+ * the fig12/fig15/fig16 drivers.
+ */
+inline SchemeSpec
+paraScheme(double nrh, int slack)
+{
+    SchemeSpec s;
+    s.kind = SchemeKind::Baseline;
+    s.paraEnabled = true;
+    s.nrh = nrh;
+    if (slack >= 0) {
+        s.preventiveViaHira = true;
+        s.slackN = slack;
+    }
+    return s;
+}
+
+/** Display label matching paraScheme(nrh, slack). */
+inline std::string
+paraSchemeLabel(int slack)
+{
+    return slack < 0 ? std::string("PARA") : strprintf("HiRA-%d", slack);
+}
+
+/**
+ * Incrementally-built sweep plan with handle-based result lookup.
+ *
+ * Drivers add() every (geometry, scheme) point of their grid up
+ * front, keeping the returned handles, then run() the whole plan
+ * through SweepRunner::runPoints() — one sharded drain of all
+ * (point x mix) simulations instead of a pool + barrier per point.
+ */
+class SweepGrid
+{
+  public:
+    /** Queue one sweep point; the handle indexes its result. */
+    std::size_t
+    add(const GeomSpec &geom, const SchemeSpec &scheme)
+    {
+        points_.push_back(SweepPoint{geom, scheme});
+        return points_.size() - 1;
+    }
+
+    /** Evaluate every queued point (once, before any at()/ws()). */
+    void
+    run(SweepRunner &runner)
+    {
+        results_ = runner.runPoints(points_);
+    }
+
+    const PointResult &
+    at(std::size_t handle) const
+    {
+        hira_assert(handle < results_.size());
+        return results_[handle];
+    }
+
+    double ws(std::size_t handle) const { return at(handle).meanWs; }
+
+    std::size_t size() const { return points_.size(); }
+
+  private:
+    std::vector<SweepPoint> points_;
+    std::vector<PointResult> results_;
+};
 
 inline void
 footer()

@@ -1,0 +1,126 @@
+#include "common/worker_pool.hh"
+
+#include <algorithm>
+
+namespace hira {
+
+WorkerPool::WorkerPool(int threads) : nthreads(std::max(1, threads))
+{
+    if (nthreads < 2)
+        return; // inline mode: parallelFor runs on the caller
+    // The caller always helps drain its own job, so nthreads - 1
+    // spawned workers keep the observable concurrency at exactly
+    // nthreads (one oversubscribed thread otherwise).
+    workers.reserve(static_cast<std::size_t>(nthreads - 1));
+    for (int t = 0; t < nthreads - 1; ++t)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        shuttingDown = true;
+    }
+    wakeCv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+WorkerPool::runItems()
+{
+    // Each index is claimed by exactly one thread; a claimed index is
+    // always counted as finished, run or skipped, so the job's
+    // completion condition (finished == jobSize) cannot be missed.
+    for (;;) {
+        std::size_t i = nextIndex.fetch_add(1);
+        if (i >= jobSize)
+            return;
+        if (!skipRemaining.load(std::memory_order_relaxed)) {
+            try {
+                (*job)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(m);
+                if (!firstError)
+                    firstError = std::current_exception();
+                skipRemaining.store(true, std::memory_order_relaxed);
+            }
+        }
+        std::lock_guard<std::mutex> lock(m);
+        if (++finished == jobSize)
+            doneCv.notify_all();
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(m);
+            wakeCv.wait(lock, [&]() {
+                return shuttingDown || (job != nullptr && generation != seen);
+            });
+            if (shuttingDown)
+                return;
+            seen = generation;
+            // activeWorkers keeps parallelFor() from resetting the
+            // job state (nextIndex in particular) while this thread
+            // is still inside runItems() for the previous job.
+            ++activeWorkers;
+        }
+        runItems();
+        {
+            std::lock_guard<std::mutex> lock(m);
+            if (--activeWorkers == 0)
+                doneCv.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers.empty()) {
+        // Inline mode: same semantics, no threads. The first exception
+        // propagates directly; remaining items are skipped by the
+        // unwind itself.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    // One job at a time: a second caller queues here until the first
+    // job has fully drained and the shared job state is reusable.
+    std::lock_guard<std::mutex> submit(submitMutex);
+    {
+        std::lock_guard<std::mutex> lock(m);
+        job = &fn;
+        jobSize = n;
+        nextIndex.store(0);
+        skipRemaining.store(false);
+        finished = 0;
+        firstError = nullptr;
+        ++generation;
+    }
+    wakeCv.notify_all();
+    runItems(); // the caller helps drain its own job
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(m);
+        doneCv.wait(lock, [&]() {
+            return finished == jobSize && activeWorkers == 0;
+        });
+        job = nullptr;
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace hira

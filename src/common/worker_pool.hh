@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Persistent worker pool for index-parallel work.
+ *
+ * One pool outlives many parallelFor() calls, so sweep executors can
+ * drain a whole grid of work items through a single set of threads
+ * instead of spawning a fresh pool (and paying a join barrier) per
+ * sweep point. Exceptions thrown by work items do not
+ * std::terminate the process: the first one is captured, the
+ * remaining unstarted items are skipped, and it is rethrown on the
+ * calling thread once the pool has quiesced.
+ */
+
+#ifndef HIRA_COMMON_WORKER_POOL_HH
+#define HIRA_COMMON_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hira {
+
+/**
+ * Fixed-size pool of worker threads executing indexed jobs.
+ *
+ * With fewer than two threads the pool spawns nothing and
+ * parallelFor() runs inline on the caller, so a single-threaded run
+ * has no scheduling layer at all; either way the work function sees
+ * each index in [0, n) exactly once. Results must be written to
+ * per-index slots (and seeds derived from the index), which makes any
+ * computation bitwise independent of the thread count.
+ */
+class WorkerPool
+{
+  public:
+    /** @p threads is clamped to at least 1. */
+    explicit WorkerPool(int threads);
+
+    /** Joins the workers; any queued job must have completed. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Total concurrency of a parallelFor() call, caller included
+     * (>= 1; 1 means inline execution, no spawned threads).
+     */
+    int threadCount() const { return nthreads; }
+
+    /**
+     * Run fn(i) for every i in [0, n) across the pool and block until
+     * all indices are accounted for. If any invocation throws, the
+     * first exception is rethrown here after the pool drains;
+     * already-started items complete, unstarted ones are skipped.
+     * Concurrent calls from different threads serialize (one job at a
+     * time per pool); calling it from inside a work item of the same
+     * pool deadlocks.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void runItems();
+
+    const int nthreads;
+    std::vector<std::thread> workers;
+
+    std::mutex submitMutex; //!< serializes whole parallelFor() calls
+    std::mutex m;
+    std::condition_variable wakeCv; //!< new job posted / shutdown
+    std::condition_variable doneCv; //!< all indices of the job consumed
+
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t jobSize = 0;
+    std::atomic<std::size_t> nextIndex{0};
+    std::atomic<bool> skipRemaining{false};
+    std::size_t finished = 0;      //!< indices run or skipped (under m)
+    std::size_t activeWorkers = 0; //!< workers inside runItems (under m)
+    std::exception_ptr firstError;
+    std::uint64_t generation = 0;
+    bool shuttingDown = false;
+};
+
+} // namespace hira
+
+#endif // HIRA_COMMON_WORKER_POOL_HH

@@ -1,11 +1,27 @@
 #include "sim/experiment.hh"
 
-#include <atomic>
-#include <thread>
+#include <cmath>
+#include <set>
 
 #include "common/logging.hh"
 
 namespace hira {
+
+namespace {
+
+void
+accumulateRefresh(RefreshStats &agg, const RefreshStats &rs)
+{
+    agg.refCommands += rs.refCommands;
+    agg.rowRefreshes += rs.rowRefreshes;
+    agg.accessPaired += rs.accessPaired;
+    agg.refreshPaired += rs.refreshPaired;
+    agg.standalone += rs.standalone;
+    agg.deadlineMisses += rs.deadlineMisses;
+    agg.preventiveGenerated += rs.preventiveGenerated;
+}
+
+} // namespace
 
 Geometry
 GeomSpec::toGeometry() const
@@ -19,7 +35,11 @@ GeomSpec::toGeometry() const
 std::string
 GeomSpec::key() const
 {
-    return strprintf("c%.1f-ch%d-rk%d", capacityGb, channels, ranks);
+    // %.17g round-trips capacityGb exactly: a %.1f key would collapse
+    // distinct capacities (8.0 vs 8.04) onto one alone-IPC cache slot
+    // and one RNG stream. The key feeds caching, seeding, and
+    // diagnostics, so it must be injective over geometries.
+    return strprintf("c%.17g-ch%d-rk%d", capacityGb, channels, ranks);
 }
 
 std::string
@@ -37,6 +57,22 @@ SchemeSpec::label() const
         base += preventiveViaHira ? "+PARA(HiRA)" : "+PARA";
     }
     return base;
+}
+
+std::string
+SchemeSpec::seedKey() const
+{
+    // Every field that changes simulation behavior appears here: two
+    // sweep points may share RNG streams only if they are identical.
+    // %.17g round-trips doubles exactly, so the key (and with it the
+    // golden seeds) is platform-independent.
+    return strprintf("k%d-n%d-post%d-pvh%d-para%d-nrh%.17g-prev%d-"
+                     "ap%d-rp%d-pull%d-spt%.17g",
+                     static_cast<int>(kind), slackN, refPostpone,
+                     periodicViaHira ? 1 : 0, paraEnabled ? 1 : 0, nrh,
+                     preventiveViaHira ? 1 : 0, accessPairing ? 1 : 0,
+                     refreshPairing ? 1 : 0, pullAhead ? 1 : 0,
+                     sptIsolation);
 }
 
 SystemConfig
@@ -97,24 +133,33 @@ runOne(const SystemConfig &cfg, Cycle warmup, Cycle measure)
 
 double
 weightedSpeedup(const std::vector<double> &ipc_shared,
-                const std::vector<double> &ipc_alone)
+                const std::vector<double> &ipc_alone,
+                const std::string &context)
 {
     hira_assert(ipc_shared.size() == ipc_alone.size());
     double ws = 0.0;
     for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
-        hira_assert(ipc_alone[i] > 0.0);
+        if (!(ipc_alone[i] > 0.0) || !std::isfinite(ipc_alone[i])) {
+            fatal("weightedSpeedup%s%s: ipc_alone[%zu] = %g is not a "
+                  "positive finite IPC; the alone run of that workload "
+                  "made no progress (empty or instantly-exhausted "
+                  "'file:' trace?)",
+                  context.empty() ? "" : " for ", context.c_str(), i,
+                  ipc_alone[i]);
+        }
         ws += ipc_shared[i] / ipc_alone[i];
     }
     return ws;
 }
 
-SweepRunner::SweepRunner(const BenchKnobs &k) : knobs(k)
+SweepRunner::SweepRunner(const BenchKnobs &k)
+    : knobs(k), pool(k.threads)
 {
     mixes_ = makeMixes(knobs.mixes, knobs.cores);
 }
 
 SweepRunner::SweepRunner(const BenchKnobs &k, std::vector<WorkloadMix> mixes)
-    : knobs(k), mixes_(std::move(mixes))
+    : knobs(k), mixes_(std::move(mixes)), pool(k.threads)
 {
     hira_assert(!mixes_.empty());
 }
@@ -123,109 +168,153 @@ double
 SweepRunner::aloneIpc(const std::string &bench, const GeomSpec &geom)
 {
     std::string key = bench + "|" + geom.key();
-    {
-        std::lock_guard<std::mutex> lock(cacheMutex);
+    for (;;) {
+        std::unique_lock<std::mutex> lock(cacheMutex);
         auto it = aloneCache.find(key);
-        if (it != aloneCache.end())
-            return it->second;
+        if (it != aloneCache.end()) {
+            if (it->second.ready)
+                return it->second.ipc;
+            // Another thread is computing this key: wait for it
+            // instead of duplicating the run (single-flight).
+            cacheCv.wait(lock);
+            continue;
+        }
+        // Leader: publish a not-ready slot, run outside the lock.
+        aloneCache.emplace(key, AloneSlot{});
+        lock.unlock();
+        double ipc = 0.0;
+        try {
+            SchemeSpec none;
+            none.kind = SchemeKind::NoRefresh;
+            WorkloadMix solo = {bench};
+            SystemConfig cfg =
+                makeSystemConfig(geom, none, solo, hashString(key));
+            aloneRuns.fetch_add(1);
+            RunResult r = runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                                 static_cast<Cycle>(knobs.cycles));
+            ipc = r.ipc.at(0);
+        } catch (...) {
+            // Drop the placeholder so waiters retry (and one of them
+            // becomes the new leader) rather than blocking forever.
+            lock.lock();
+            aloneCache.erase(key);
+            cacheCv.notify_all();
+            throw;
+        }
+        if (!(ipc > 0.0) || !std::isfinite(ipc)) {
+            fatal("IPC-alone run of benchmark '%s' on geometry %s "
+                  "yielded IPC = %g; weighted speedup would divide by "
+                  "zero. The workload made no progress — check the mix "
+                  "spec (empty or instantly-exhausted 'file:' trace?)",
+                  bench.c_str(), geom.key().c_str(), ipc);
+        }
+        lock.lock();
+        AloneSlot &slot = aloneCache[key];
+        slot.ipc = ipc;
+        slot.ready = true;
+        cacheCv.notify_all();
+        return ipc;
     }
-    SchemeSpec none;
-    none.kind = SchemeKind::NoRefresh;
-    WorkloadMix solo = {bench};
-    SystemConfig cfg =
-        makeSystemConfig(geom, none, solo, hashString(key));
-    RunResult r = runOne(cfg, static_cast<Cycle>(knobs.warmup),
-                         static_cast<Cycle>(knobs.cycles));
-    double ipc = r.ipc[0];
-    std::lock_guard<std::mutex> lock(cacheMutex);
-    aloneCache[key] = ipc;
-    return ipc;
+}
+
+std::vector<PointResult>
+SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
+{
+    if (plan.empty())
+        return {};
+
+    // Deduplicated IPC-alone warmup items: one per (bench, geometry)
+    // key that is neither cached nor already queued for this plan.
+    // aloneIpc() itself is single-flight, so a key raced in by a
+    // concurrent caller is simply waited on, never re-run.
+    struct AloneItem
+    {
+        std::string bench;
+        const GeomSpec *geom;
+    };
+    std::vector<AloneItem> aloneItems;
+    {
+        std::set<std::string> queued;
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        for (const SweepPoint &p : plan) {
+            std::string geomKey = p.geom.key();
+            for (const WorkloadMix &mix : mixes_) {
+                for (const std::string &b : mix) {
+                    std::string key = b + "|" + geomKey;
+                    if (aloneCache.count(key) != 0 ||
+                        !queued.insert(key).second) {
+                        continue;
+                    }
+                    aloneItems.push_back(AloneItem{b, &p.geom});
+                }
+            }
+        }
+    }
+
+    // One flat queue: the alone warmups, then every (point, mix)
+    // simulation. All items are independent simulations, so the pool
+    // drains them with no barrier in between.
+    const std::size_t nAlone = aloneItems.size();
+    const std::size_t nMixes = mixes_.size();
+    std::vector<std::vector<RunResult>> runs(
+        plan.size(), std::vector<RunResult>(nMixes));
+    pool.parallelFor(nAlone + plan.size() * nMixes, [&](std::size_t i) {
+        if (i < nAlone) {
+            aloneIpc(aloneItems[i].bench, *aloneItems[i].geom);
+            return;
+        }
+        std::size_t flat = i - nAlone;
+        std::size_t pi = flat / nMixes;
+        std::size_t mi = flat % nMixes;
+        const SweepPoint &p = plan[pi];
+        SystemConfig cfg = makeSystemConfig(
+            p.geom, p.scheme, mixes_[mi],
+            sweepRunSeed(p.geom.key(), p.scheme.seedKey(), mi));
+        runs[pi][mi] = runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                              static_cast<Cycle>(knobs.cycles));
+    });
+
+    // Reduce on the calling thread in plan/mix order, so the floating
+    // point summation order is fixed regardless of thread count.
+    std::vector<PointResult> out(plan.size());
+    for (std::size_t pi = 0; pi < plan.size(); ++pi) {
+        const SweepPoint &p = plan[pi];
+        double sum = 0.0;
+        for (std::size_t mi = 0; mi < nMixes; ++mi) {
+            std::vector<double> alone;
+            for (const std::string &b : mixes_[mi])
+                alone.push_back(aloneIpc(b, p.geom));
+            sum += weightedSpeedup(
+                runs[pi][mi].ipc, alone,
+                strprintf("mix %zu on %s", mi, p.geom.key().c_str()));
+            accumulateRefresh(out[pi].refresh, runs[pi][mi].sys.refresh);
+        }
+        out[pi].meanWs = sum / static_cast<double>(nMixes);
+    }
+    lastRefresh = out.back().refresh;
+    return out;
+}
+
+double
+SweepRunner::meanWs(const GeomSpec &geom, const SchemeSpec &scheme)
+{
+    return runPoints({SweepPoint{geom, scheme}}).front().meanWs;
 }
 
 std::vector<RunResult>
 SweepRunner::runMixes(const GeomSpec &geom, const SchemeSpec &scheme)
 {
     std::vector<RunResult> results(mixes_.size());
-    int nthreads = std::max(1, std::min<int>(knobs.threads,
-                                             static_cast<int>(
-                                                 mixes_.size())));
-    std::vector<std::thread> workers;
-    std::atomic<std::size_t> next{0};
-    for (int t = 0; t < nthreads; ++t) {
-        workers.emplace_back([&]() {
-            for (;;) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= mixes_.size())
-                    return;
-                SystemConfig cfg = makeSystemConfig(
-                    geom, scheme, mixes_[i],
-                    hashCombine(0x9152, i));
-                results[i] =
-                    runOne(cfg, static_cast<Cycle>(knobs.warmup),
-                           static_cast<Cycle>(knobs.cycles));
-            }
-        });
-    }
-    for (auto &w : workers)
-        w.join();
+    std::string geomKey = geom.key();
+    std::string schemeKey = scheme.seedKey();
+    pool.parallelFor(mixes_.size(), [&](std::size_t i) {
+        SystemConfig cfg = makeSystemConfig(
+            geom, scheme, mixes_[i],
+            sweepRunSeed(geomKey, schemeKey, i));
+        results[i] = runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                            static_cast<Cycle>(knobs.cycles));
+    });
     return results;
-}
-
-void
-SweepRunner::warmAloneCache(const GeomSpec &geom)
-{
-    // Distinct benchmarks across the mixes, filled by the worker pool.
-    std::vector<std::string> benches;
-    for (const WorkloadMix &mix : mixes_) {
-        for (const std::string &b : mix) {
-            if (std::find(benches.begin(), benches.end(), b) ==
-                benches.end()) {
-                benches.push_back(b);
-            }
-        }
-    }
-    int nthreads = std::max(1, std::min<int>(knobs.threads,
-                                             static_cast<int>(
-                                                 benches.size())));
-    std::vector<std::thread> workers;
-    std::atomic<std::size_t> next{0};
-    for (int t = 0; t < nthreads; ++t) {
-        workers.emplace_back([&]() {
-            for (;;) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= benches.size())
-                    return;
-                aloneIpc(benches[i], geom);
-            }
-        });
-    }
-    for (auto &w : workers)
-        w.join();
-}
-
-double
-SweepRunner::meanWs(const GeomSpec &geom, const SchemeSpec &scheme)
-{
-    warmAloneCache(geom);
-    std::vector<RunResult> results = runMixes(geom, scheme);
-    double sum = 0.0;
-    RefreshStats agg;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        std::vector<double> alone;
-        for (const std::string &b : mixes_[i])
-            alone.push_back(aloneIpc(b, geom));
-        sum += weightedSpeedup(results[i].ipc, alone);
-        const RefreshStats &rs = results[i].sys.refresh;
-        agg.refCommands += rs.refCommands;
-        agg.rowRefreshes += rs.rowRefreshes;
-        agg.accessPaired += rs.accessPaired;
-        agg.refreshPaired += rs.refreshPaired;
-        agg.standalone += rs.standalone;
-        agg.deadlineMisses += rs.deadlineMisses;
-        agg.preventiveGenerated += rs.preventiveGenerated;
-    }
-    lastRefresh = agg;
-    return sum / static_cast<double>(results.size());
 }
 
 double

@@ -3,18 +3,22 @@
  * Experiment runner for the evaluation sweeps (Sections 7-10): builds
  * systems from compact specs, runs warmup + measurement, computes
  * weighted speedup [31, 156] against cached single-core IPC-alone runs,
- * and fans mixes out over a thread pool.
+ * and shards whole sweep grids over a persistent thread pool.
  */
 
 #ifndef HIRA_SIM_EXPERIMENT_HH
 #define HIRA_SIM_EXPERIMENT_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/knobs.hh"
+#include "common/rng.hh"
+#include "common/worker_pool.hh"
 #include "security/para_analysis.hh"
 #include "sim/system.hh"
 
@@ -51,6 +55,14 @@ struct SchemeSpec
     double sptIsolation = 0.32;
 
     std::string label() const;
+
+    /**
+     * Deterministic key of every behavior-affecting field, used to
+     * seed per-run RNG streams. label() is for humans and collapses
+     * distinct points (e.g. all Baseline+PARA(HiRA) thresholds share
+     * one label), so it must never feed the seed.
+     */
+    std::string seedKey() const;
 };
 
 /** Result of one (mix, geometry, scheme) simulation. */
@@ -60,6 +72,38 @@ struct RunResult
     SystemResult sys;
 };
 
+/** One (geometry, scheme) point of a sweep grid. */
+struct SweepPoint
+{
+    GeomSpec geom;
+    SchemeSpec scheme;
+};
+
+/** Per-point outcome of SweepRunner::runPoints(). */
+struct PointResult
+{
+    double meanWs = 0.0;   //!< mean weighted speedup over the mixes
+    RefreshStats refresh;  //!< refresh stats summed over the mixes
+};
+
+/**
+ * RNG seed of mix @p mixIndex at one (geometry, scheme) sweep point.
+ *
+ * The geometry key and the scheme's seedKey() are folded in so that no
+ * two distinct sweep points share per-mix RNG streams (they did before
+ * PR 3, correlating every point of a sweep). Pure function of its
+ * inputs — the golden values in tests/sim/test_experiment.cc pin it on
+ * every platform.
+ */
+inline std::uint64_t
+sweepRunSeed(const std::string &geomKey, const std::string &schemeKey,
+             std::size_t mixIndex)
+{
+    return hashCombine(hashCombine(hashString(geomKey),
+                                   hashString(schemeKey)),
+                       hashCombine(0x9152, mixIndex));
+}
+
 /** Assemble a SystemConfig from the compact specs. */
 SystemConfig makeSystemConfig(const GeomSpec &geom, const SchemeSpec &scheme,
                               const WorkloadMix &mix, std::uint64_t seed);
@@ -67,14 +111,29 @@ SystemConfig makeSystemConfig(const GeomSpec &geom, const SchemeSpec &scheme,
 /** Run one simulation (warmup + measurement). */
 RunResult runOne(const SystemConfig &cfg, Cycle warmup, Cycle measure);
 
-/** Weighted speedup: sum_i IPC_shared_i / IPC_alone_i. */
+/**
+ * Weighted speedup: sum_i IPC_shared_i / IPC_alone_i. Fatal on
+ * non-positive or non-finite alone IPC (a degenerate workload, e.g. an
+ * instantly-exhausted "file:" trace) instead of returning inf/NaN;
+ * @p context names the offending run in the diagnostic.
+ */
 double weightedSpeedup(const std::vector<double> &ipc_shared,
-                       const std::vector<double> &ipc_alone);
+                       const std::vector<double> &ipc_alone,
+                       const std::string &context = std::string());
 
 /**
- * Sweep driver: caches IPC-alone runs per (benchmark, geometry) and
- * evaluates mean weighted speedup over a set of mixes with a worker
- * pool.
+ * Sweep executor: drivers declare a grid of (geometry, scheme) points
+ * and the runner flattens (point x mix) simulations — plus the
+ * deduplicated IPC-alone warmup runs — into one queue drained by a
+ * single persistent worker pool (knobs.threads wide). The IPC-alone
+ * cache is shared across all points of the runner, keyed
+ * "bench|geom", with single-flight per key so concurrent shards never
+ * duplicate an alone run.
+ *
+ * Results are bitwise independent of the thread count: every
+ * simulation's seed is a pure function of (geometry, scheme, mix
+ * index) via sweepRunSeed(), results land in per-index slots, and
+ * reductions run on the calling thread in index order.
  */
 class SweepRunner
 {
@@ -93,8 +152,16 @@ class SweepRunner
     const std::vector<WorkloadMix> &mixes() const { return mixes_; }
 
     /**
+     * Evaluate every point of the plan, sharding all (point x mix)
+     * work items across the worker pool at once. Results are in plan
+     * order. Worker exceptions are rethrown on the calling thread
+     * (first one wins); a fatal() in a worker still exits the process.
+     */
+    std::vector<PointResult> runPoints(const std::vector<SweepPoint> &plan);
+
+    /**
      * Mean weighted speedup of the scheme on the geometry across the
-     * runner's mixes.
+     * runner's mixes. Thin wrapper over a single-point runPoints().
      */
     double meanWs(const GeomSpec &geom, const SchemeSpec &scheme);
 
@@ -102,19 +169,45 @@ class SweepRunner
     double meanMetric(const GeomSpec &geom, const SchemeSpec &scheme,
                       double (*metric)(const RunResult &));
 
-    /** Last meanWs call's aggregate refresh stats (reporting). */
+    /**
+     * Cached single-core IPC of @p bench alone on @p geom (the
+     * weighted-speedup denominator). Computes and caches on miss;
+     * concurrent callers of the same key block on the one in-flight
+     * run (single-flight). Fatal if the run yields a non-positive or
+     * non-finite IPC, naming the benchmark and geometry.
+     */
+    double aloneIpc(const std::string &bench, const GeomSpec &geom);
+
+    /** IPC-alone simulations actually run (test hook: cache/dedup). */
+    std::uint64_t aloneRunCount() const { return aloneRuns.load(); }
+
+    /**
+     * Refresh stats of the most recent point evaluated: after
+     * meanWs(), that call's mix-summed aggregate; after a multi-point
+     * runPoints(), the FINAL plan point's aggregate only (per-point
+     * stats are in each PointResult::refresh).
+     */
     const RefreshStats &lastRefreshStats() const { return lastRefresh; }
 
   private:
-    double aloneIpc(const std::string &bench, const GeomSpec &geom);
-    void warmAloneCache(const GeomSpec &geom);
     std::vector<RunResult> runMixes(const GeomSpec &geom,
                                     const SchemeSpec &scheme);
 
     BenchKnobs knobs;
     std::vector<WorkloadMix> mixes_;
-    std::map<std::string, double> aloneCache; //!< "bench|geom" -> IPC
+    WorkerPool pool;
+
+    /** Single-flight IPC-alone cache slot ("bench|geom" key). */
+    struct AloneSlot
+    {
+        double ipc = 0.0;
+        bool ready = false; //!< false: leader still computing
+    };
+    std::map<std::string, AloneSlot> aloneCache;
     std::mutex cacheMutex;
+    std::condition_variable cacheCv;
+    std::atomic<std::uint64_t> aloneRuns{0};
+
     RefreshStats lastRefresh;
 };
 

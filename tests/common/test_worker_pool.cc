@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the persistent WorkerPool: exact index coverage, reuse
+ * across jobs, and the exception contract — a throwing work item must
+ * not std::terminate the process; the first exception is rethrown on
+ * the calling thread and the pool stays usable afterwards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/worker_pool.hh"
+
+using namespace hira;
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce)
+{
+    WorkerPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, ReusableAcrossManyJobs)
+{
+    // Back-to-back jobs of different sizes on one pool: a stale worker
+    // straddling a job boundary would double-run or miss indices.
+    WorkerPool pool(4);
+    for (std::size_t n : {1u, 7u, 64u, 3u, 257u}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " index " << i;
+    }
+}
+
+TEST(WorkerPool, ZeroItemsReturnsImmediately)
+{
+    WorkerPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, ClampsNonPositiveThreadCounts)
+{
+    WorkerPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+    WorkerPool neg(-3);
+    EXPECT_EQ(neg.threadCount(), 1);
+}
+
+TEST(WorkerPool, ExceptionRethrownOnCallingThread)
+{
+    WorkerPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t i) {
+                             if (i == 57)
+                                 throw std::runtime_error("item 57");
+                         }),
+        std::runtime_error);
+}
+
+TEST(WorkerPool, ExceptionMessageAndTypePreserved)
+{
+    WorkerPool pool(2);
+    try {
+        pool.parallelFor(10, [&](std::size_t) {
+            throw std::out_of_range("boom from worker");
+        });
+        FAIL() << "parallelFor did not rethrow";
+    } catch (const std::out_of_range &e) {
+        EXPECT_STREQ(e.what(), "boom from worker");
+    }
+}
+
+TEST(WorkerPool, ExceptionSkipsRemainingAndPoolStaysUsable)
+{
+    // Index 0 is always claimed first and throws immediately; every
+    // other item burns 100 us. If skipping works, only the handful of
+    // items claimed before the skip flag was set can execute — far
+    // fewer than the 9999 non-throwing items a broken skip would run.
+    WorkerPool pool(4);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(10000,
+                         [&](std::size_t i) {
+                             if (i == 0)
+                                 throw std::runtime_error("x");
+                             std::this_thread::sleep_for(
+                                 std::chrono::microseconds(100));
+                             executed.fetch_add(1);
+                         }),
+        std::runtime_error);
+    EXPECT_LT(executed.load(), 1000);
+
+    // The pool recovers: the next job runs clean over every index.
+    std::vector<std::atomic<int>> hits(100);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < 100; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, InlineModePropagatesException)
+{
+    WorkerPool pool(1);
+    int executed = 0;
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [&](std::size_t i) {
+                                      if (i == 3)
+                                          throw std::runtime_error("x");
+                                      ++executed;
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(executed, 3); // items after the throw were skipped
+    pool.parallelFor(4, [&](std::size_t) { ++executed; });
+    EXPECT_EQ(executed, 7);
+}

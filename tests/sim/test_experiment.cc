@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "security/para_analysis.hh"
 #include "sim/experiment.hh"
 
@@ -18,8 +20,11 @@ TEST(ExperimentSpec, GeomKeyDistinguishesPoints)
     b.capacityGb = 32.0;
     GeomSpec c;
     c.ranks = 4;
+    GeomSpec d;
+    d.capacityGb = 8.04; // must not collapse onto 8.0 (%.17g key)
     EXPECT_NE(a.key(), b.key());
     EXPECT_NE(a.key(), c.key());
+    EXPECT_NE(a.key(), d.key());
     EXPECT_EQ(a.key(), GeomSpec().key());
 }
 
@@ -107,6 +112,155 @@ TEST(ExperimentSpec, AblationSwitchesWiring)
     EXPECT_FALSE(cfg.hira.enableAccessPairing);
     EXPECT_FALSE(cfg.hira.enablePullAhead);
     EXPECT_DOUBLE_EQ(cfg.hira.sptIsolation, 0.6);
+}
+
+TEST(ExperimentSpec, SweepRunSeedGoldenValues)
+{
+    // Pinned golden values for the per-run seeding (PR 3): the seed
+    // folds geometry key, scheme seedKey(), and mix index, so no two
+    // distinct sweep points share per-mix RNG streams.
+    // hashString/hashCombine are pure and platform-independent
+    // (src/common/rng.hh contract) and seedKey() round-trips doubles
+    // with %.17g, so these constants must hold everywhere; changing
+    // the seeding scheme is a results-breaking change and must update
+    // them.
+    GeomSpec g8; // c8-ch1-rk1
+    GeomSpec g32;
+    g32.capacityGb = 32.0;
+    g32.channels = 4; // c32-ch4-rk1
+    SchemeSpec base;  // Baseline defaults
+    SchemeSpec hira;
+    hira.kind = SchemeKind::HiraMc;
+    hira.slackN = 4; // HiRA-4
+
+    EXPECT_EQ(sweepRunSeed(g8.key(), base.seedKey(), 0),
+              0x72aa31c0132305ebULL);
+    EXPECT_EQ(sweepRunSeed(g8.key(), base.seedKey(), 1),
+              0x9ae0765635c97ce0ULL);
+    EXPECT_EQ(sweepRunSeed(g32.key(), hira.seedKey(), 0),
+              0xdb04ae1bf281e7d9ULL);
+    EXPECT_EQ(sweepRunSeed(g32.key(), hira.seedKey(), 5),
+              0xecd98b6eb9805dfaULL);
+}
+
+TEST(ExperimentSpec, SweepRunSeedDistinguishesEveryAxis)
+{
+    GeomSpec g;
+    GeomSpec g2;
+    g2.channels = 2;
+    SchemeSpec base;
+    SchemeSpec hira;
+    hira.kind = SchemeKind::HiraMc;
+
+    std::uint64_t s = sweepRunSeed(g.key(), base.seedKey(), 0);
+    EXPECT_NE(s, sweepRunSeed(g2.key(), base.seedKey(), 0)); // geometry
+    EXPECT_NE(s, sweepRunSeed(g.key(), hira.seedKey(), 0));  // scheme
+    EXPECT_NE(s, sweepRunSeed(g.key(), base.seedKey(), 1));  // mix index
+}
+
+TEST(ExperimentSpec, SeedKeySeparatesPointsThatShareALabel)
+{
+    // The fig12/15/16 grids: every HiRA-served PARA point has
+    // label "Baseline+PARA(HiRA)" regardless of threshold or slack.
+    // seedKey() must still separate them (and the ablation switches),
+    // or all those sweep points reuse identical RNG streams.
+    SchemeSpec a;
+    a.paraEnabled = true;
+    a.preventiveViaHira = true;
+    a.nrh = 1024.0;
+    a.slackN = 2;
+
+    SchemeSpec b = a;
+    b.nrh = 64.0; // different threshold, same label
+    EXPECT_EQ(a.label(), b.label());
+    EXPECT_NE(a.seedKey(), b.seedKey());
+
+    SchemeSpec c = a;
+    c.slackN = 8; // different slack, same label
+    EXPECT_EQ(a.label(), c.label());
+    EXPECT_NE(a.seedKey(), c.seedKey());
+
+    SchemeSpec d = a;
+    d.accessPairing = false; // ablation switch, label unchanged
+    EXPECT_EQ(a.label(), d.label());
+    EXPECT_NE(a.seedKey(), d.seedKey());
+
+    SchemeSpec e;
+    SchemeSpec f;
+    f.refPostpone = 8; // elastic postponement, label unchanged
+    EXPECT_EQ(e.label(), f.label());
+    EXPECT_NE(e.seedKey(), f.seedKey());
+}
+
+TEST(ExperimentSpec, WeightedSpeedupRejectsDegenerateAloneIpc)
+{
+    // A zero alone-IPC (e.g. an instantly-exhausted "file:" trace)
+    // must fail fast with a diagnostic, not return inf/NaN.
+    std::vector<double> shared = {0.5, 0.5};
+    std::vector<double> zero = {1.0, 0.0};
+    EXPECT_EXIT(weightedSpeedup(shared, zero, "mix 7 on c8-ch1-rk1"),
+                ::testing::ExitedWithCode(1),
+                "mix 7 on c8-ch1-rk1.*ipc_alone\\[1\\].*not a "
+                "positive finite IPC");
+    std::vector<double> nan = {std::nan(""), 1.0};
+    EXPECT_EXIT(weightedSpeedup(shared, nan),
+                ::testing::ExitedWithCode(1), "ipc_alone\\[0\\]");
+    // Healthy inputs still work.
+    std::vector<double> alone = {1.0, 0.5};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(shared, alone), 1.5);
+}
+
+TEST(ExperimentSpec, RunPointsMatchesSerialMeanWsLoop)
+{
+    // The sharded plan executor must be bitwise identical to the old
+    // serial per-point meanWs loop at the same seeds.
+    BenchKnobs k;
+    k.mixes = 2;
+    k.cycles = 12000;
+    k.warmup = 3000;
+    k.rows = 64;
+    k.threads = 2;
+
+    std::vector<SweepPoint> plan;
+    for (int ch : {1, 2}) {
+        for (int slack : {-1, 2}) {
+            SweepPoint p;
+            p.geom.channels = ch;
+            if (slack < 0) {
+                p.scheme.kind = SchemeKind::Baseline;
+            } else {
+                p.scheme.kind = SchemeKind::HiraMc;
+                p.scheme.slackN = slack;
+            }
+            plan.push_back(p);
+        }
+    }
+
+    SweepRunner serial(k);
+    std::vector<double> expect;
+    for (const SweepPoint &p : plan)
+        expect.push_back(serial.meanWs(p.geom, p.scheme));
+
+    SweepRunner planned(k);
+    std::vector<PointResult> got = planned.runPoints(plan);
+    ASSERT_EQ(got.size(), plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        EXPECT_EQ(got[i].meanWs, expect[i]) << "point " << i;
+
+    // lastRefreshStats() reflects the final plan point, matching what
+    // a trailing meanWs call would have left behind.
+    EXPECT_EQ(planned.lastRefreshStats().rowRefreshes,
+              serial.lastRefreshStats().rowRefreshes);
+}
+
+TEST(ExperimentSpec, RunPointsEmptyPlanIsANoOp)
+{
+    BenchKnobs k;
+    k.mixes = 1;
+    k.threads = 1;
+    SweepRunner runner(k);
+    EXPECT_TRUE(runner.runPoints({}).empty());
+    EXPECT_EQ(runner.aloneRunCount(), 0u);
 }
 
 TEST(ExperimentSpec, SweepRunnerDeterministicTinyScale)

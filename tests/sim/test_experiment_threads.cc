@@ -1,13 +1,17 @@
 /**
  * @file
- * Deterministic-threading tests for SweepRunner: the worker pool
- * (src/sim/experiment.cc) must be a pure parallelization — per-mix
- * seeds are fixed, results land in per-mix slots, and the alone-IPC
- * cache is guarded by a mutex — so the thread count must not change
- * any result bit.
+ * Deterministic-threading tests for SweepRunner: the sharded executor
+ * (src/sim/experiment.cc) must be a pure parallelization — per-run
+ * seeds are pure functions of (geometry, scheme, mix index), results
+ * land in per-index slots, and the alone-IPC cache is single-flight —
+ * so the thread count must not change any result bit, and no alone
+ * run may ever execute twice.
  */
 
 #include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
 
 #include "sim/experiment.hh"
 
@@ -60,6 +64,95 @@ TEST(SweepRunnerThreads, HiraMcMeanWsAndStatsIdenticalOneVsFourThreads)
     EXPECT_EQ(a.refreshPaired, b.refreshPaired);
     EXPECT_EQ(a.standalone, b.standalone);
     EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+}
+
+TEST(SweepRunnerThreads, RunPointsIdenticalOneVsFourThreads)
+{
+    // The sharded plan path must be bitwise thread-count independent,
+    // point by point, including the per-point refresh aggregates.
+    std::vector<SweepPoint> plan;
+    for (int ch : {1, 2}) {
+        for (int slack : {-1, 2}) {
+            SweepPoint p;
+            p.geom.channels = ch;
+            if (slack < 0) {
+                p.scheme.kind = SchemeKind::Baseline;
+            } else {
+                p.scheme.kind = SchemeKind::HiraMc;
+                p.scheme.slackN = slack;
+            }
+            plan.push_back(p);
+        }
+    }
+    SweepRunner serial(tinyKnobs(1));
+    SweepRunner pooled(tinyKnobs(4));
+    std::vector<PointResult> a = serial.runPoints(plan);
+    std::vector<PointResult> b = pooled.runPoints(plan);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].meanWs, b[i].meanWs) << "point " << i;
+        EXPECT_EQ(a[i].refresh.rowRefreshes, b[i].refresh.rowRefreshes);
+        EXPECT_EQ(a[i].refresh.accessPaired, b[i].refresh.accessPaired);
+        EXPECT_EQ(a[i].refresh.deadlineMisses,
+                  b[i].refresh.deadlineMisses);
+    }
+}
+
+TEST(SweepRunnerThreads, NoDuplicateAloneRunsAcrossAPlan)
+{
+    // A plan spanning several schemes and geometries needs exactly one
+    // alone run per distinct (benchmark, geometry) pair, shared across
+    // all points — never one per point.
+    SweepRunner runner(tinyKnobs(4));
+    std::vector<SweepPoint> plan;
+    for (int ch : {1, 2}) {
+        for (int slack : {-1, 0, 2}) {
+            SweepPoint p;
+            p.geom.channels = ch;
+            if (slack < 0) {
+                p.scheme.kind = SchemeKind::Baseline;
+            } else {
+                p.scheme.kind = SchemeKind::HiraMc;
+                p.scheme.slackN = slack;
+            }
+            plan.push_back(p);
+        }
+    }
+    runner.runPoints(plan);
+
+    std::set<std::string> benches;
+    for (const WorkloadMix &mix : runner.mixes())
+        for (const std::string &b : mix)
+            benches.insert(b);
+    // 2 geometries in the plan, each needing every distinct bench once.
+    EXPECT_EQ(runner.aloneRunCount(), 2 * benches.size());
+
+    // Re-running the plan hits the cache: no new alone runs.
+    std::uint64_t before = runner.aloneRunCount();
+    runner.runPoints(plan);
+    EXPECT_EQ(runner.aloneRunCount(), before);
+}
+
+TEST(SweepRunnerThreads, AloneCacheIsSingleFlightUnderConcurrency)
+{
+    // Hammer one cold cache key from many threads at once: exactly one
+    // leader may run the simulation; everyone must observe its value.
+    SweepRunner runner(tinyKnobs(1));
+    GeomSpec g;
+    const int nthreads = 8;
+    std::vector<double> seen(nthreads, 0.0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t) {
+        threads.emplace_back([&, t]() {
+            seen[t] = runner.aloneIpc("mcf-like", g);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(runner.aloneRunCount(), 1u);
+    for (int t = 1; t < nthreads; ++t)
+        EXPECT_EQ(seen[t], seen[0]) << "thread " << t;
+    EXPECT_GT(seen[0], 0.0);
 }
 
 TEST(SweepRunnerThreads, RepeatedCallsOnOneRunnerStayStable)
