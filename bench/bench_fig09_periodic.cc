@@ -23,7 +23,7 @@ main()
            "12.6 % over baseline at 128 Gb; HiRA-2 ~ HiRA-4 ~ HiRA-8");
     knobsLine(knobs);
 
-    SweepRunner runner(knobs);
+    SweepRunner runner(knobs, mixesFromEnv(knobs));
     const std::vector<double> capacities = {2, 4, 8, 16, 32, 64, 128};
     std::vector<std::string> cols;
     for (double c : capacities)

@@ -23,7 +23,7 @@ main()
            "HiRA-4 gives 3.73x at NRH=64; slack helps monotonically");
     knobsLine(knobs);
 
-    SweepRunner runner(knobs);
+    SweepRunner runner(knobs, mixesFromEnv(knobs));
     const std::vector<double> nrh_values = {1024, 512, 256, 128, 64};
     const std::vector<int> slacks = {-1, 0, 2, 4, 8}; // -1: plain PARA
     std::vector<std::string> cols;

@@ -22,7 +22,7 @@ main()
            "HiRA-2 keeps +8.1 % over baseline at 8 channels / 32 Gb");
     knobsLine(knobs);
 
-    SweepRunner runner(knobs);
+    SweepRunner runner(knobs, mixesFromEnv(knobs));
     const std::vector<double> capacities = {2.0, 8.0, 32.0};
     const std::vector<int> channels = {1, 2, 4, 8};
     const std::vector<std::string> schemes = {"Baseline", "HiRA-2",

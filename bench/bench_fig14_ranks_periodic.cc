@@ -24,7 +24,7 @@ main()
            "32 Gb");
     knobsLine(knobs);
 
-    SweepRunner runner(knobs);
+    SweepRunner runner(knobs, mixesFromEnv(knobs));
     const std::vector<double> capacities = {2.0, 8.0, 32.0};
     const std::vector<int> ranks = {1, 2, 4, 8};
     const std::vector<std::string> schemes = {"Baseline", "HiRA-2",

@@ -21,7 +21,7 @@ main()
            "PARA at 8 ranks, NRH=64");
     knobsLine(knobs);
 
-    SweepRunner runner(knobs);
+    SweepRunner runner(knobs, mixesFromEnv(knobs));
     const std::vector<double> nrh_values = {1024.0, 256.0, 64.0};
     const std::vector<int> slacks = {-1, 2, 4}; // -1: plain PARA
     const std::vector<int> ranks = {1, 2, 4, 8};

@@ -28,6 +28,7 @@
 #include "common/knobs.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "workload/corpus.hh"
 
 #ifndef HIRA_GIT_REV
 #define HIRA_GIT_REV "unknown"
@@ -286,6 +287,29 @@ inline std::string
 paraSchemeLabel(int slack)
 {
     return slack < 0 ? std::string("PARA") : strprintf("HiRA-%d", slack);
+}
+
+/**
+ * The workload mixes a driver should sweep: the intensity-binned mixes
+ * of the HIRA_CORPUS trace corpus when that is set (noted in the
+ * output and the JSON artifact), else the generated synthetic mixes.
+ * Pass the result to the explicit-mixes SweepRunner constructor; call
+ * after banner() so the corpus note lands in the capture.
+ */
+inline std::vector<WorkloadMix>
+mixesFromEnv(const BenchKnobs &k)
+{
+    const char *dir = std::getenv("HIRA_CORPUS");
+    if (dir == nullptr || *dir == '\0')
+        return makeMixes(k.mixes, k.cores);
+    std::shared_ptr<const Corpus> corpus =
+        Corpus::activeOrFatal("HIRA_CORPUS");
+    std::size_t priors = 0;
+    for (const CorpusEntry &e : corpus->entries())
+        priors += e.hasAloneIpc() ? 1 : 0;
+    note(strprintf("corpus: %s (%zu traces, %zu with alone-IPC priors)",
+                   corpus->dir().c_str(), corpus->size(), priors));
+    return makeCorpusMixes(k.mixes, k.cores, *corpus);
 }
 
 /**

@@ -313,7 +313,13 @@ HiraMc::onActivate(int rank, BankId bank, RowId row, Cycle now)
     if (victim == kNoRow)
         return;
     ++stats_.preventiveGenerated;
-    fifos[rank].push(bank, victim);
+    if (!fifos[rank].push(bank, victim)) {
+        // The 4-entry per-bank PR-FIFO is full: the victim was never
+        // enqueued, so scheduling a RefreshTable request for it would
+        // desynchronize the two structures. Count the drop instead.
+        ++stats_.preventiveDropped;
+        return;
+    }
     tables[rank].insert(now + slackCycles, rank, bank,
                         RefreshType::Preventive);
 }

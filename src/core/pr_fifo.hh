@@ -43,15 +43,20 @@ class PrFifoSet
         return fifos[bank].size();
     }
 
-    /** Enqueue a victim; false if the FIFO overflowed its capacity. */
+    /**
+     * Enqueue a victim. A full FIFO rejects the entry (the hardware has
+     * exactly @p depth slots, Section 6): the victim is NOT stored,
+     * false is returned, and the overflow counter advances. The caller
+     * must then skip the preventive refresh it was about to schedule.
+     */
     bool
     push(BankId bank, RowId victim)
     {
-        fifos[bank].push_back(victim);
-        if (fifos[bank].size() > depth) {
+        if (fifos[bank].size() >= depth) {
             ++overflows_;
             return false;
         }
+        fifos[bank].push_back(victim);
         return true;
     }
 

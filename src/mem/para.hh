@@ -42,19 +42,22 @@ class ParaSampler
     /**
      * Sample an activation of @p row. Returns the victim row to
      * preventively refresh, or kNoRow (the common case).
+     *
+     * Fig. 10: each existing neighbor is refreshed with probability
+     * exactly pth/2. When the coin-flipped neighbor falls off the bank
+     * edge the sample is dropped — redirecting to the opposite
+     * neighbor would give edge-adjacent rows double the refresh
+     * probability (and there is no row off the edge to disturb).
      */
     RowId
     sample(RowId row, std::uint32_t rows_per_bank)
     {
         if (!cfg.enabled || !rng.chance(cfg.pth))
             return kNoRow;
-        // Fig. 10: each neighbor is refreshed with probability pth/2.
         bool up = rng.chance(0.5);
-        if (up && row + 1 < rows_per_bank)
-            return row + 1;
-        if (!up && row > 0)
-            return row - 1;
-        return row + 1 < rows_per_bank ? row + 1 : row - 1;
+        if (up)
+            return row + 1 < rows_per_bank ? row + 1 : kNoRow;
+        return row > 0 ? row - 1 : kNoRow;
     }
 
     /** Count of preventive refreshes generated (stat). */

@@ -27,6 +27,8 @@ struct RefreshStats
     std::uint64_t standalone = 0;        //!< plain ACT+PRE refreshes
     std::uint64_t deadlineMisses = 0;    //!< executed past their deadline
     std::uint64_t preventiveGenerated = 0;
+    /** Preventive victims rejected by a full PR-FIFO (never refreshed). */
+    std::uint64_t preventiveDropped = 0;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "workload/corpus.hh"
 
 namespace hira {
 
@@ -19,6 +20,7 @@ accumulateRefresh(RefreshStats &agg, const RefreshStats &rs)
     agg.standalone += rs.standalone;
     agg.deadlineMisses += rs.deadlineMisses;
     agg.preventiveGenerated += rs.preventiveGenerated;
+    agg.preventiveDropped += rs.preventiveDropped;
 }
 
 } // namespace
@@ -164,10 +166,30 @@ SweepRunner::SweepRunner(const BenchKnobs &k, std::vector<WorkloadMix> mixes)
     hira_assert(!mixes_.empty());
 }
 
+bool
+SweepRunner::primePriorLocked(const std::string &key,
+                              const std::string &bench)
+{
+    // A manifest alone-IPC prior replaces the reference run: it lands
+    // in the cache as a ready slot, so every geometry of the sweep
+    // reuses it (priors are the trace's reference IPC, not a
+    // per-geometry measurement) and aloneRunCount() stays at zero for
+    // prior-carrying workloads. No waiter can exist for the key (only
+    // not-ready slots are waited on), so no notify is needed.
+    double prior = 0.0;
+    if (!corpusAloneIpcPrior(bench, prior))
+        return false;
+    AloneSlot slot;
+    slot.ipc = prior;
+    slot.ready = true;
+    aloneCache.emplace(key, slot);
+    return true;
+}
+
 double
 SweepRunner::aloneIpc(const std::string &bench, const GeomSpec &geom)
 {
-    std::string key = bench + "|" + geom.key();
+    std::string key = aloneIpcCacheKey(bench, geom);
     for (;;) {
         std::unique_lock<std::mutex> lock(cacheMutex);
         auto it = aloneCache.find(key);
@@ -179,6 +201,8 @@ SweepRunner::aloneIpc(const std::string &bench, const GeomSpec &geom)
             cacheCv.wait(lock);
             continue;
         }
+        if (primePriorLocked(key, bench))
+            continue; // next iteration reads the ready slot
         // Leader: publish a not-ready slot, run outside the lock.
         aloneCache.emplace(key, AloneSlot{});
         lock.unlock();
@@ -225,6 +249,8 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
 
     // Deduplicated IPC-alone warmup items: one per (bench, geometry)
     // key that is neither cached nor already queued for this plan.
+    // Manifest alone-IPC priors are installed straight into the cache
+    // here, so prior-carrying workloads never enqueue a warmup run.
     // aloneIpc() itself is single-flight, so a key raced in by a
     // concurrent caller is simply waited on, never re-run.
     struct AloneItem
@@ -237,12 +263,12 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
         std::set<std::string> queued;
         std::lock_guard<std::mutex> lock(cacheMutex);
         for (const SweepPoint &p : plan) {
-            std::string geomKey = p.geom.key();
             for (const WorkloadMix &mix : mixes_) {
                 for (const std::string &b : mix) {
-                    std::string key = b + "|" + geomKey;
+                    std::string key = aloneIpcCacheKey(b, p.geom);
                     if (aloneCache.count(key) != 0 ||
-                        !queued.insert(key).second) {
+                        !queued.insert(key).second ||
+                        primePriorLocked(key, b)) {
                         continue;
                     }
                     aloneItems.push_back(AloneItem{b, &p.geom});

@@ -104,6 +104,18 @@ sweepRunSeed(const std::string &geomKey, const std::string &schemeKey,
                        hashCombine(0x9152, mixIndex));
 }
 
+/**
+ * Cache/seed key of the IPC-alone run of workload @p bench on @p geom.
+ * SweepRunner::aloneIpc keys its cache and seeds the reference run
+ * with hashString() of this string; tools/hira_tracegen replicates it
+ * so a manifest's alone-IPC prior equals what a sweep would measure.
+ */
+inline std::string
+aloneIpcCacheKey(const std::string &bench, const GeomSpec &geom)
+{
+    return bench + "|" + geom.key();
+}
+
 /** Assemble a SystemConfig from the compact specs. */
 SystemConfig makeSystemConfig(const GeomSpec &geom, const SchemeSpec &scheme,
                               const WorkloadMix &mix, std::uint64_t seed);
@@ -171,10 +183,14 @@ class SweepRunner
 
     /**
      * Cached single-core IPC of @p bench alone on @p geom (the
-     * weighted-speedup denominator). Computes and caches on miss;
-     * concurrent callers of the same key block on the one in-flight
-     * run (single-flight). Fatal if the run yields a non-positive or
-     * non-finite IPC, naming the benchmark and geometry.
+     * weighted-speedup denominator). A "corpus:" workload whose
+     * manifest entry carries an alone-IPC prior resolves to the prior
+     * without simulating (the prior is the trace's geometry-independent
+     * reference IPC; see src/workload/corpus.hh). Otherwise computes
+     * and caches on miss; concurrent callers of the same key block on
+     * the one in-flight run (single-flight). Fatal if the run yields a
+     * non-positive or non-finite IPC, naming the benchmark and
+     * geometry.
      */
     double aloneIpc(const std::string &bench, const GeomSpec &geom);
 
@@ -192,6 +208,14 @@ class SweepRunner
   private:
     std::vector<RunResult> runMixes(const GeomSpec &geom,
                                     const SchemeSpec &scheme);
+
+    /**
+     * Install workload @p bench's manifest alone-IPC prior (if any)
+     * into the cache as a ready slot under @p key; true on install.
+     * Caller must hold cacheMutex. The single cache-seeding path for
+     * both aloneIpc() and the runPoints() prescan.
+     */
+    bool primePriorLocked(const std::string &key, const std::string &bench);
 
     BenchKnobs knobs;
     std::vector<WorkloadMix> mixes_;

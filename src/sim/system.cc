@@ -146,6 +146,7 @@ System::result() const
         r.refresh.standalone += rs.standalone;
         r.refresh.deadlineMisses += rs.deadlineMisses;
         r.refresh.preventiveGenerated += rs.preventiveGenerated;
+        r.refresh.preventiveDropped += rs.preventiveDropped;
         // HiRA-MC may run an internal baseline REF engine (Fig. 12).
         if (const auto *hmc =
                 dynamic_cast<const HiraMc *>(&ctrl->scheme())) {

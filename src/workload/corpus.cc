@@ -1,0 +1,757 @@
+#include "workload/corpus.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include <sys/stat.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hira {
+
+namespace {
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+/**
+ * Reject @p value if it cannot round-trip through the manifest
+ * formats: whitespace/'#' break the TSV columns, '"' and '\\' are
+ * written unescaped into JSON, and control characters break both.
+ */
+void
+checkManifestToken(const std::string &what, const std::string &value,
+                   const std::string &context)
+{
+    for (char c : value) {
+        if (std::isspace(static_cast<unsigned char>(c)) ||
+            static_cast<unsigned char>(c) < 0x20 || c == '#' ||
+            c == '"' || c == '\\') {
+            fatal("%s: %s '%s' contains '%c', which cannot round-trip "
+                  "through a corpus manifest",
+                  context.c_str(), what.c_str(), value.c_str(),
+                  std::isspace(static_cast<unsigned char>(c)) ? ' ' : c);
+        }
+    }
+}
+
+std::string
+joinPath(const std::string &dir, const std::string &file)
+{
+    if (!file.empty() && file[0] == '/')
+        return file;
+    return dir + "/" + file;
+}
+
+TraceFormat
+formatFromString(const std::string &s, const std::string &where)
+{
+    if (s == "text")
+        return TraceFormat::Text;
+    if (s == "binary")
+        return TraceFormat::Binary;
+    fatal("%s: unknown trace format '%s' (expected 'text' or 'binary')",
+          where.c_str(), s.c_str());
+}
+
+const char *
+formatToString(TraceFormat f)
+{
+    return f == TraceFormat::Binary ? "binary" : "text";
+}
+
+MpkiClass
+classFromLetter(const std::string &s, const std::string &where)
+{
+    if (s == "H" || s == "h")
+        return MpkiClass::High;
+    if (s == "M" || s == "m")
+        return MpkiClass::Medium;
+    if (s == "L" || s == "l")
+        return MpkiClass::Low;
+    fatal("%s: unknown intensity class '%s' (expected H, M, or L)",
+          where.c_str(), s.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader, scoped to what a manifest needs: objects,
+// arrays, strings (with the common escapes), numbers, booleans, null.
+// Errors are fatal with the manifest path and byte offset.
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        for (const auto &kv : object) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, const std::string &path)
+        : src(text), file(path)
+    {
+    }
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos != src.size())
+            error("trailing garbage after the top-level value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &what) const
+    {
+        fatal("%s: invalid JSON at byte %zu: %s", file.c_str(), pos,
+              what.c_str());
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos >= src.size())
+            error("unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            error(strprintf("expected '%c'", c));
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < src.size() && peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (consume('}'))
+            return v;
+        do {
+            JsonValue key = parseString();
+            expect(':');
+            v.object.emplace_back(key.string, parseValue());
+        } while (consume(','));
+        expect('}');
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (consume(']'))
+            return v;
+        do {
+            v.array.push_back(parseValue());
+        } while (consume(','));
+        expect(']');
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (pos < src.size() && src[pos] != '"') {
+            char c = src[pos++];
+            if (c != '\\') {
+                v.string.push_back(c);
+                continue;
+            }
+            if (pos >= src.size())
+                error("unterminated escape");
+            char esc = src[pos++];
+            switch (esc) {
+              case '"': v.string.push_back('"'); break;
+              case '\\': v.string.push_back('\\'); break;
+              case '/': v.string.push_back('/'); break;
+              case 'n': v.string.push_back('\n'); break;
+              case 't': v.string.push_back('\t'); break;
+              case 'r': v.string.push_back('\r'); break;
+              case 'b': v.string.push_back('\b'); break;
+              case 'f': v.string.push_back('\f'); break;
+              case 'u': {
+                if (pos + 4 > src.size())
+                    error("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = src[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        error("bad \\u escape digit");
+                }
+                // Manifests are ASCII; anything wider is unexpected.
+                if (code > 0x7f)
+                    error("non-ASCII \\u escape in manifest");
+                v.string.push_back(static_cast<char>(code));
+                break;
+              }
+              default: error("unknown escape");
+            }
+        }
+        if (pos >= src.size())
+            error("unterminated string");
+        ++pos; // closing quote
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (src.compare(pos, 4, "true") == 0) {
+            v.boolean = true;
+            pos += 4;
+        } else if (src.compare(pos, 5, "false") == 0) {
+            v.boolean = false;
+            pos += 5;
+        } else {
+            error("expected 'true' or 'false'");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (src.compare(pos, 4, "null") != 0)
+            error("expected 'null'");
+        pos += 4;
+        return JsonValue{};
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const char *start = src.c_str() + pos;
+        char *end = nullptr;
+        errno = 0;
+        double d = std::strtod(start, &end);
+        if (end == start || errno == ERANGE)
+            error("malformed number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        pos += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    const std::string &src;
+    std::string file;
+    std::size_t pos = 0;
+};
+
+// ---------------------------------------------------------------------
+// Manifest readers
+// ---------------------------------------------------------------------
+
+std::vector<CorpusEntry>
+parseTsvManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open corpus manifest '%s'", path.c_str());
+    std::vector<CorpusEntry> entries;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::istringstream fields(line);
+        std::string name;
+        if (!(fields >> name) || name[0] == '#')
+            continue; // blank or comment
+        std::string where = strprintf("%s:%zu", path.c_str(), lineno);
+        CorpusEntry e;
+        e.name = name;
+        std::string format, instructions, cls, alone;
+        if (!(fields >> e.file >> format >> instructions >> cls >> alone)) {
+            fatal("%s: expected 6 columns "
+                  "(name file format instructions class alone-ipc)",
+                  where.c_str());
+        }
+        std::string extra;
+        if (fields >> extra) {
+            fatal("%s: trailing garbage '%s'", where.c_str(),
+                  extra.c_str());
+        }
+        e.format = formatFromString(format, where);
+        char *end = nullptr;
+        errno = 0;
+        e.instructions = std::strtoull(instructions.c_str(), &end, 10);
+        // The isdigit guard also rejects negatives, which strtoull
+        // would otherwise silently wrap to huge values.
+        if (!std::isdigit(static_cast<unsigned char>(instructions[0])) ||
+            end == instructions.c_str() || *end != '\0' ||
+            errno == ERANGE) {
+            fatal("%s: bad instruction count '%s'", where.c_str(),
+                  instructions.c_str());
+        }
+        e.mpki = classFromLetter(cls, where);
+        if (alone != "-") {
+            errno = 0;
+            e.aloneIpc = std::strtod(alone.c_str(), &end);
+            if (end == alone.c_str() || *end != '\0' || errno == ERANGE ||
+                !std::isfinite(e.aloneIpc) || e.aloneIpc <= 0.0) {
+                fatal("%s: bad alone-IPC '%s' (expected a positive "
+                      "number or '-')",
+                      where.c_str(), alone.c_str());
+            }
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+std::vector<CorpusEntry>
+parseJsonManifest(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open corpus manifest '%s'", path.c_str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    JsonValue root = JsonParser(text, path).parse();
+    if (root.kind != JsonValue::Kind::Object)
+        fatal("%s: manifest root must be a JSON object", path.c_str());
+    const JsonValue *traces = root.get("traces");
+    if (traces == nullptr || traces->kind != JsonValue::Kind::Array)
+        fatal("%s: manifest needs a \"traces\" array", path.c_str());
+
+    std::vector<CorpusEntry> entries;
+    for (std::size_t i = 0; i < traces->array.size(); ++i) {
+        const JsonValue &t = traces->array[i];
+        std::string where = strprintf("%s: traces[%zu]", path.c_str(), i);
+        if (t.kind != JsonValue::Kind::Object)
+            fatal("%s: must be an object", where.c_str());
+        CorpusEntry e;
+        auto str = [&](const char *key, bool required) -> std::string {
+            const JsonValue *v = t.get(key);
+            if (v == nullptr || v->kind == JsonValue::Kind::Null) {
+                if (required) {
+                    fatal("%s: missing \"%s\"", where.c_str(), key);
+                }
+                return std::string();
+            }
+            if (v->kind != JsonValue::Kind::String)
+                fatal("%s: \"%s\" must be a string", where.c_str(), key);
+            return v->string;
+        };
+        e.name = str("name", true);
+        e.file = str("file", true);
+        std::string format = str("format", false);
+        e.format = format.empty() ? TraceFormat::Text
+                                  : formatFromString(format, where);
+        if (const JsonValue *v = t.get("instructions")) {
+            // The range check (and rejecting NaN, which fails every
+            // comparison) keeps the double -> uint64 cast defined;
+            // 2^53 is where doubles stop holding exact counts anyway.
+            if (v->kind != JsonValue::Kind::Number ||
+                !(v->number >= 0.0) || v->number > 0x1.0p53) {
+                fatal("%s: \"instructions\" must be a number in "
+                      "[0, 2^53]",
+                      where.c_str());
+            }
+            e.instructions = static_cast<std::uint64_t>(v->number);
+        }
+        e.mpki = classFromLetter(str("class", true), where);
+        if (const JsonValue *v = t.get("alone_ipc")) {
+            if (v->kind == JsonValue::Kind::Null) {
+                // explicit "not measured"
+            } else if (v->kind != JsonValue::Kind::Number ||
+                       !std::isfinite(v->number) || v->number <= 0.0) {
+                fatal("%s: \"alone_ipc\" must be a positive finite "
+                      "number or null",
+                      where.c_str());
+            } else {
+                e.aloneIpc = v->number;
+            }
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+// ---------------------------------------------------------------------
+// Active-corpus state
+// ---------------------------------------------------------------------
+
+std::mutex &
+activeMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+struct ActiveCorpus
+{
+    std::shared_ptr<const Corpus> corpus;
+    bool envChecked = false;
+};
+
+ActiveCorpus &
+activeState()
+{
+    static ActiveCorpus s;
+    return s;
+}
+
+} // namespace
+
+char
+mpkiClassLetter(MpkiClass cls)
+{
+    switch (cls) {
+      case MpkiClass::Low: return 'L';
+      case MpkiClass::Medium: return 'M';
+      case MpkiClass::High: return 'H';
+    }
+    panic("unreachable intensity class");
+}
+
+MpkiClass
+classifyApki(double apki)
+{
+    if (apki >= 200.0)
+        return MpkiClass::High;
+    if (apki >= 80.0)
+        return MpkiClass::Medium;
+    return MpkiClass::Low;
+}
+
+Corpus::Corpus(std::string dir, std::vector<CorpusEntry> entries)
+    : dir_(std::move(dir)), entries_(std::move(entries))
+{
+    if (entries_.empty())
+        fatal("corpus '%s' has no traces", dir_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        CorpusEntry &e = entries_[i];
+        if (e.name.empty() || e.name.find('?') != std::string::npos ||
+            e.name.find(':') != std::string::npos) {
+            fatal("corpus '%s': invalid trace name '%s' ('?' and ':' "
+                  "are spec syntax)",
+                  dir_.c_str(), e.name.c_str());
+        }
+        std::string context = "corpus '" + dir_ + "'";
+        checkManifestToken("trace name", e.name, context);
+        if (e.file.empty())
+            fatal("corpus '%s': entry '%s' has no file", dir_.c_str(),
+                  e.name.c_str());
+        checkManifestToken("file path", e.file, context);
+        e.path = joinPath(dir_, e.file);
+        if (!fileExists(e.path)) {
+            fatal("corpus '%s': trace file '%s' (entry '%s') does not "
+                  "exist",
+                  dir_.c_str(), e.path.c_str(), e.name.c_str());
+        }
+        if (!byName.emplace(e.name, i).second) {
+            fatal("corpus '%s': duplicate trace name '%s'", dir_.c_str(),
+                  e.name.c_str());
+        }
+    }
+}
+
+Corpus
+Corpus::load(const std::string &dir)
+{
+    std::string tsv = dir + "/manifest.tsv";
+    std::string json = dir + "/manifest.json";
+    if (fileExists(tsv))
+        return Corpus(dir, parseTsvManifest(tsv));
+    if (fileExists(json))
+        return Corpus(dir, parseJsonManifest(json));
+    fatal("corpus directory '%s' has neither manifest.tsv nor "
+          "manifest.json",
+          dir.c_str());
+}
+
+const CorpusEntry *
+Corpus::find(const std::string &name) const
+{
+    auto it = byName.find(name);
+    return it == byName.end() ? nullptr : &entries_[it->second];
+}
+
+const CorpusEntry &
+Corpus::at(const std::string &name) const
+{
+    const CorpusEntry *e = find(name);
+    if (e == nullptr) {
+        std::string names;
+        for (const CorpusEntry &cur : entries_)
+            names += (names.empty() ? "" : ", ") + cur.name;
+        fatal("corpus '%s' has no trace '%s'; it has: %s", dir_.c_str(),
+              name.c_str(), names.c_str());
+    }
+    return *e;
+}
+
+std::shared_ptr<const Corpus>
+Corpus::active()
+{
+    std::lock_guard<std::mutex> lock(activeMutex());
+    ActiveCorpus &s = activeState();
+    if (s.corpus == nullptr && !s.envChecked) {
+        s.envChecked = true;
+        const char *dir = std::getenv("HIRA_CORPUS");
+        if (dir != nullptr && *dir != '\0')
+            s.corpus = std::make_shared<const Corpus>(Corpus::load(dir));
+    }
+    return s.corpus;
+}
+
+std::shared_ptr<const Corpus>
+Corpus::activeOrFatal(const char *what)
+{
+    std::shared_ptr<const Corpus> c = active();
+    if (c == nullptr) {
+        fatal("%s needs an active trace corpus: set HIRA_CORPUS=<dir> "
+              "(a directory with manifest.tsv or manifest.json, see "
+              "BUILDING.md) or install one via Corpus::setActive",
+              what);
+    }
+    return c;
+}
+
+void
+Corpus::setActive(std::shared_ptr<const Corpus> corpus)
+{
+    std::lock_guard<std::mutex> lock(activeMutex());
+    ActiveCorpus &s = activeState();
+    s.corpus = std::move(corpus);
+    // A later clear falls back to HIRA_CORPUS again.
+    s.envChecked = s.corpus != nullptr;
+}
+
+void
+writeManifest(const std::string &dir,
+              const std::vector<CorpusEntry> &entries, bool also_json,
+              const std::string &comment)
+{
+    std::string tsv = dir + "/manifest.tsv";
+    // Entries usually come through a validated Corpus, but tools and
+    // tests may hand-build them: reject fields that would produce a
+    // manifest the readers mis-parse — before truncating any existing
+    // manifest file.
+    for (const CorpusEntry &e : entries) {
+        std::string context = "writing manifest '" + tsv + "'";
+        checkManifestToken("trace name", e.name, context);
+        checkManifestToken("file path", e.file, context);
+        // A non-finite prior would print as a bare 'inf'/'nan' token
+        // that the readers (and any JSON consumer) reject.
+        if (e.hasAloneIpc() && !std::isfinite(e.aloneIpc)) {
+            fatal("%s: entry '%s' has non-finite alone-IPC %g",
+                  context.c_str(), e.name.c_str(), e.aloneIpc);
+        }
+    }
+    std::ofstream out(tsv);
+    if (!out)
+        fatal("cannot write corpus manifest '%s'", tsv.c_str());
+    out << "# hira corpus manifest v1\n"
+        << "# name file format instructions class alone-ipc\n";
+    if (!comment.empty())
+        out << "# " << comment << '\n';
+    for (const CorpusEntry &e : entries) {
+        out << e.name << '\t' << e.file << '\t' << formatToString(e.format)
+            << '\t' << e.instructions << '\t' << mpkiClassLetter(e.mpki)
+            << '\t'
+            << (e.hasAloneIpc() ? strprintf("%.17g", e.aloneIpc)
+                                : std::string("-"))
+            << '\n';
+    }
+    out.flush();
+    if (!out)
+        fatal("write error on corpus manifest '%s'", tsv.c_str());
+
+    if (!also_json)
+        return;
+    std::string json = dir + "/manifest.json";
+    std::ofstream jout(json);
+    if (!jout)
+        fatal("cannot write corpus manifest '%s'", json.c_str());
+    jout << "{\n  \"version\": 1,\n";
+    if (!comment.empty()) {
+        // The reader ignores unknown keys; this is for humans.
+        std::string escaped;
+        for (char c : comment) {
+            if (c == '"' || c == '\\')
+                escaped.push_back('\\');
+            escaped.push_back(c);
+        }
+        jout << "  \"note\": \"" << escaped << "\",\n";
+    }
+    jout << "  \"traces\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const CorpusEntry &e = entries[i];
+        jout << strprintf(
+            "    {\"name\": \"%s\", \"file\": \"%s\", \"format\": "
+            "\"%s\", \"instructions\": %llu, \"class\": \"%c\", "
+            "\"alone_ipc\": ",
+            e.name.c_str(), e.file.c_str(), formatToString(e.format),
+            static_cast<unsigned long long>(e.instructions),
+            mpkiClassLetter(e.mpki));
+        jout << (e.hasAloneIpc() ? strprintf("%.17g", e.aloneIpc)
+                                 : std::string("null"));
+        jout << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    jout << "  ]\n}\n";
+    jout.flush();
+    if (!jout)
+        fatal("write error on corpus manifest '%s'", json.c_str());
+}
+
+std::vector<WorkloadMix>
+makeCorpusMixes(int count, int cores, const Corpus &corpus,
+                std::uint64_t seed)
+{
+    // Bins in category order: High, Medium, Low, then the whole corpus
+    // as the "mixed" category. Empty bins drop out, so a single-class
+    // corpus still yields valid mixes.
+    std::vector<std::vector<const CorpusEntry *>> bins(4);
+    for (const CorpusEntry &e : corpus.entries()) {
+        switch (e.mpki) {
+          case MpkiClass::High: bins[0].push_back(&e); break;
+          case MpkiClass::Medium: bins[1].push_back(&e); break;
+          case MpkiClass::Low: bins[2].push_back(&e); break;
+        }
+        bins[3].push_back(&e);
+    }
+    std::vector<const std::vector<const CorpusEntry *> *> categories;
+    for (const auto &bin : bins) {
+        if (!bin.empty())
+            categories.push_back(&bin);
+    }
+    hira_assert(!categories.empty());
+
+    Rng rng(seed);
+    std::vector<WorkloadMix> mixes;
+    mixes.reserve(static_cast<std::size_t>(count));
+    for (int m = 0; m < count; ++m) {
+        const auto &bin =
+            *categories[static_cast<std::size_t>(m) % categories.size()];
+        WorkloadMix mix;
+        mix.reserve(static_cast<std::size_t>(cores));
+        for (int c = 0; c < cores; ++c)
+            mix.push_back(bin[rng.below(bin.size())]->spec());
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+bool
+corpusAloneIpcPrior(const std::string &spec, double &out)
+{
+    const char kPrefix[] = "corpus:";
+    if (spec.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0)
+        return false;
+    std::shared_ptr<const Corpus> corpus = Corpus::active();
+    if (corpus == nullptr)
+        return false;
+    std::string name = spec.substr(sizeof(kPrefix) - 1);
+    // No prior for option-carrying specs: "?once" runs the trace dry
+    // instead of looping, so the looping-replay prior is NOT the IPC
+    // the measured fallback would produce for this spec — substituting
+    // it would silently change the weighted-speedup denominator.
+    if (name.find('?') != std::string::npos)
+        return false;
+    const CorpusEntry *e = corpus->find(name);
+    if (e == nullptr || !e->hasAloneIpc())
+        return false;
+    out = e->aloneIpc;
+    return true;
+}
+
+} // namespace hira

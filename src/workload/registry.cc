@@ -2,36 +2,68 @@
 
 #include "common/logging.hh"
 #include "sim/workloads.hh"
+#include "workload/corpus.hh"
 #include "workload/file_trace.hh"
 
 namespace hira {
 
 namespace {
 
-/** "file:<path>[?loop|?once]" -> FileTraceSource. */
-std::unique_ptr<TraceSource>
-makeFileSource(const std::string &arg, std::uint64_t /*seed*/, Addr base,
-               Addr slice_bytes)
+/**
+ * Strip a trailing "?loop" / "?once" option from @p arg (the spec with
+ * the scheme prefix removed) into @p opts; fatal on unknown options.
+ */
+std::string
+stripLoopOption(const std::string &arg, const char *scheme,
+                FileTraceOptions &opts)
 {
-    std::string path = arg;
-    FileTraceOptions opts;
-    std::size_t q = path.rfind('?');
+    std::string rest = arg;
+    std::size_t q = rest.rfind('?');
     if (q != std::string::npos) {
-        std::string opt = path.substr(q + 1);
-        path.erase(q);
+        std::string opt = rest.substr(q + 1);
+        rest.erase(q);
         if (opt == "once")
             opts.loop = false;
         else if (opt == "loop")
             opts.loop = true;
         else {
-            fatal("unknown trace option '?%s' in 'file:%s' "
+            fatal("unknown trace option '?%s' in '%s:%s' "
                   "(supported: ?loop, ?once)",
-                  opt.c_str(), arg.c_str());
+                  opt.c_str(), scheme, arg.c_str());
         }
     }
+    return rest;
+}
+
+/** "file:<path>[?loop|?once]" -> FileTraceSource. */
+std::unique_ptr<TraceSource>
+makeFileSource(const std::string &arg, std::uint64_t /*seed*/, Addr base,
+               Addr slice_bytes)
+{
+    FileTraceOptions opts;
+    std::string path = stripLoopOption(arg, "file", opts);
     if (path.empty())
         fatal("empty path in workload spec 'file:%s'", arg.c_str());
     return std::make_unique<FileTraceSource>(path, base, slice_bytes, opts);
+}
+
+/**
+ * "corpus:<name>[?loop|?once]" -> FileTraceSource of the named trace
+ * in the active corpus (HIRA_CORPUS / Corpus::setActive).
+ */
+std::unique_ptr<TraceSource>
+makeCorpusSource(const std::string &arg, std::uint64_t /*seed*/, Addr base,
+                 Addr slice_bytes)
+{
+    FileTraceOptions opts;
+    std::string name = stripLoopOption(arg, "corpus", opts);
+    if (name.empty())
+        fatal("empty trace name in workload spec 'corpus:%s'", arg.c_str());
+    std::shared_ptr<const Corpus> corpus =
+        Corpus::activeOrFatal(("workload spec 'corpus:" + arg + "'").c_str());
+    const CorpusEntry &entry = corpus->at(name);
+    return std::make_unique<FileTraceSource>(entry.path, base, slice_bytes,
+                                             opts);
 }
 
 } // namespace
@@ -39,6 +71,7 @@ makeFileSource(const std::string &arg, std::uint64_t /*seed*/, Addr base,
 WorkloadRegistry::WorkloadRegistry()
 {
     registerScheme("file", makeFileSource);
+    registerScheme("corpus", makeCorpusSource);
 }
 
 WorkloadRegistry &
@@ -66,7 +99,8 @@ WorkloadRegistry::schemes() const
 std::string
 WorkloadRegistry::specSyntax()
 {
-    return "a synthetic pool name or 'file:<path>[?once]'";
+    return "a synthetic pool name, 'file:<path>[?once]', or "
+           "'corpus:<name>[?once]' (HIRA_CORPUS manifest)";
 }
 
 bool

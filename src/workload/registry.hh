@@ -11,6 +11,8 @@
  *   file:<path>             on-disk trace, looping when shorter than
  *                           the run (text or binary, format sniffed)
  *   file:<path>?once        same, but running dry instead of looping
+ *   corpus:<name>[?once]    trace <name> of the active corpus manifest
+ *                           (HIRA_CORPUS; src/workload/corpus.hh)
  *
  * New schemes (e.g., network-streamed traces) register a factory under
  * their prefix.

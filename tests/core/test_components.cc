@@ -141,15 +141,40 @@ TEST(PrFifo, FifoOrderAndSecond)
     EXPECT_EQ(f.second(3), kNoRow);
 }
 
-TEST(PrFifo, OverflowBeyondDepth)
+TEST(PrFifo, FullFifoRejectsThePush)
 {
+    // Section 6 sizes the PR-FIFO at 4 entries per bank: a push into a
+    // full FIFO must NOT store the victim (the hardware has nowhere to
+    // put it), must return false, and must count the overflow.
     PrFifoSet f(16, 4);
     for (RowId r = 0; r < 4; ++r)
         EXPECT_TRUE(f.push(2, r));
     EXPECT_TRUE(f.full(2));
     EXPECT_FALSE(f.push(2, 99));
     EXPECT_EQ(f.overflows(), 1u);
-    EXPECT_EQ(f.size(2), 5u);
+    EXPECT_EQ(f.size(2), 4u);
+    // The rejected victim is nowhere in the FIFO.
+    for (RowId r = 0; r < 4; ++r) {
+        EXPECT_EQ(f.front(2), r);
+        f.pop(2);
+    }
+    EXPECT_TRUE(f.empty(2));
+    // Dropping an entry reopens capacity.
+    EXPECT_TRUE(f.push(2, 100));
+    EXPECT_EQ(f.overflows(), 1u);
+}
+
+TEST(PrFifo, OverflowAccountingAccumulatesAcrossBanks)
+{
+    PrFifoSet f(4, 1);
+    EXPECT_TRUE(f.push(0, 1));
+    EXPECT_FALSE(f.push(0, 2));
+    EXPECT_FALSE(f.push(0, 3));
+    EXPECT_TRUE(f.push(3, 4));
+    EXPECT_FALSE(f.push(3, 5));
+    EXPECT_EQ(f.overflows(), 3u);
+    EXPECT_EQ(f.size(0), 1u);
+    EXPECT_EQ(f.size(3), 1u);
 }
 
 TEST(PrFifo, BanksIndependent)

@@ -173,6 +173,52 @@ TEST(HiraMc, PreventiveRcQueuesAndExecutes)
     EXPECT_GT(mc->baselineStats()->refCommands, 10u);
 }
 
+TEST(HiraMc, PrFifoNeverExceedsDepthUnderLowNrhStress)
+{
+    // Low-NRH stress (pth near the Fig. 12 NRH=64 point): victims are
+    // generated far faster than the queues drain, so the 4-entry
+    // per-bank PR-FIFO must reject pushes. The FIFO may never exceed
+    // its hardware depth, each rejected victim must be counted as a
+    // drop, and no RefreshTable request may be scheduled for it.
+    auto cc = makeConfig();
+    cc.recordTrace = false;
+    HiraMcConfig h = hiraCfg(4);
+    h.periodicViaHira = false;
+    h.preventive.enabled = true;
+    h.preventive.pth = 0.86; // solvePth(64) territory
+    auto scheme = std::make_unique<HiraMc>(h);
+    HiraMc *mc = scheme.get();
+    MemoryController ctrl(0, cc, std::move(scheme));
+    int banks = cc.geom.banksPerRank();
+    Rng rng(11);
+    std::uint64_t tag = 1;
+    for (Cycle now = 1; now < 120000; ++now) {
+        ctrl.tick(now);
+        ctrl.completions().clear();
+        if (rng.chance(0.3) && !ctrl.readQueueFull()) {
+            ctrl.enqueue(readReq(0, static_cast<BankId>(rng.below(16)),
+                                 static_cast<RowId>(rng.below(4096)),
+                                 tag++));
+        }
+        for (BankId b = 0; b < static_cast<BankId>(banks); ++b)
+            ASSERT_LE(mc->prFifo(0).size(b), 4u) << "cycle " << now;
+    }
+    // The stress actually hit capacity, and the bookkeeping agrees:
+    // every rejected push is exactly one counted drop.
+    EXPECT_GT(mc->stats().preventiveDropped, 0u);
+    EXPECT_EQ(mc->stats().preventiveDropped, mc->prFifo(0).overflows());
+    EXPECT_GT(mc->stats().preventiveGenerated,
+              mc->stats().preventiveDropped);
+    // Dropped victims were never enqueued anywhere: everything that
+    // did execute or is still queued traces back to accepted pushes.
+    std::uint64_t queued = 0;
+    for (BankId b = 0; b < static_cast<BankId>(banks); ++b)
+        queued += mc->prFifo(0).size(b);
+    EXPECT_EQ(mc->stats().preventiveGenerated -
+                  mc->stats().preventiveDropped,
+              mc->stats().rowRefreshes + queued);
+}
+
 TEST(HiraMc, TraceAuditsCleanWithDemandAndPreventive)
 {
     // The full HiRA-MC command stream — demand, periodic HiRA ops,

@@ -132,11 +132,14 @@ TEST_P(PreventiveProperty, GeneratedEqualsExecutedPlusQueued)
         }
     }
 
-    // Conservation: every sampled victim is either refreshed or still
-    // queued (in the table, mirrored by the PR-FIFOs).
+    // Conservation: every sampled victim is either refreshed, still
+    // queued (in the table, mirrored by the PR-FIFOs), or was dropped
+    // by a full 4-entry PR-FIFO and never queued anywhere.
     std::uint64_t queued = mc->table(0).size();
     EXPECT_EQ(mc->stats().preventiveGenerated,
-              mc->stats().rowRefreshes + queued);
+              mc->stats().rowRefreshes + queued +
+                  mc->stats().preventiveDropped);
+    EXPECT_EQ(mc->stats().preventiveDropped, mc->prFifo(0).overflows());
     if (pth > 0.0) {
         EXPECT_GT(mc->stats().preventiveGenerated, 50u);
     }

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Statistical tests for ParaSampler (src/mem/para.hh): every existing
+ * neighbor of an activated row is selected with probability exactly
+ * pth/2 (Fig. 10), including at the bank edges, where the
+ * out-of-range neighbor's share is dropped — not redirected to the
+ * opposite neighbor, which would double its refresh probability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "mem/para.hh"
+
+using namespace hira;
+
+namespace {
+
+constexpr std::uint32_t kRows = 4096;
+constexpr int kTrials = 200000;
+
+ParaConfig
+config(double pth, std::uint64_t seed)
+{
+    ParaConfig cfg;
+    cfg.enabled = true;
+    cfg.pth = pth;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Victim histogram of @p trials samples of one fixed row. */
+std::map<RowId, int>
+sampleRow(RowId row, double pth, std::uint64_t seed)
+{
+    ParaSampler sampler(config(pth, seed));
+    std::map<RowId, int> hist;
+    for (int i = 0; i < kTrials; ++i)
+        ++hist[sampler.sample(row, kRows)];
+    return hist;
+}
+
+/** Binomial(n = kTrials, p) sanity band: mean +/- 5 sigma. */
+void
+expectRate(int count, double p, const char *what)
+{
+    double mean = kTrials * p;
+    double sigma = std::sqrt(kTrials * p * (1.0 - p));
+    EXPECT_NEAR(static_cast<double>(count), mean, 5.0 * sigma) << what;
+}
+
+} // namespace
+
+TEST(ParaSampler, InteriorRowRefreshesEachNeighborAtHalfPth)
+{
+    const double pth = 0.4;
+    auto hist = sampleRow(1000, pth, 0x1111);
+    // Only the two physical neighbors (or no sample) may come back.
+    ASSERT_LE(hist.size(), 3u);
+    expectRate(hist[999], pth / 2.0, "row - 1");
+    expectRate(hist[1001], pth / 2.0, "row + 1");
+    expectRate(hist[kNoRow], 1.0 - pth, "no sample");
+}
+
+TEST(ParaSampler, BottomEdgeRowDropsTheMissingNeighbor)
+{
+    // Row 0 has no row -1: that half of the probability mass must be
+    // dropped, leaving row 1 at exactly pth/2 — the pre-fix redirect
+    // gave it the full pth.
+    const double pth = 0.5;
+    auto hist = sampleRow(0, pth, 0x2222);
+    ASSERT_LE(hist.size(), 2u);
+    EXPECT_EQ(hist.count(1), 1u);
+    expectRate(hist[1], pth / 2.0, "row 1 at pth/2, not pth");
+    expectRate(hist[kNoRow], 1.0 - pth / 2.0, "dropped half");
+}
+
+TEST(ParaSampler, TopEdgeRowDropsTheMissingNeighbor)
+{
+    const double pth = 0.5;
+    auto hist = sampleRow(kRows - 1, pth, 0x3333);
+    ASSERT_LE(hist.size(), 2u);
+    expectRate(hist[kRows - 2], pth / 2.0, "top neighbor at pth/2");
+    expectRate(hist[kNoRow], 1.0 - pth / 2.0, "dropped half");
+}
+
+TEST(ParaSampler, EdgeAdjacentRowsNotOverRefreshed)
+{
+    // The distribution property behind the edge fix: row 1 must be
+    // refreshed no more often when its neighbor is the edge row 0 than
+    // row 1001 is from interior activations of row 1000. Equal
+    // activation counts of rows 0 and 1000 must victimize rows 1 and
+    // 1001 at statistically equal rates.
+    const double pth = 0.6;
+    auto edge = sampleRow(0, pth, 0x4444);
+    auto interior = sampleRow(1000, pth, 0x5555);
+    double edge_rate = static_cast<double>(edge[1]) / kTrials;
+    double interior_rate =
+        static_cast<double>(interior[1001]) / kTrials;
+    // Both estimate pth/2; 5-sigma band on their difference.
+    double sigma = std::sqrt(2.0 * (pth / 2.0) * (1.0 - pth / 2.0) /
+                             kTrials);
+    EXPECT_NEAR(edge_rate, interior_rate, 5.0 * sigma);
+}
+
+TEST(ParaSampler, DisabledOrZeroPthNeverSamples)
+{
+    ParaConfig off;
+    off.enabled = false;
+    off.pth = 1.0;
+    ParaSampler disabled(off);
+    ParaSampler zero(config(0.0, 0x6666));
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(disabled.sample(100, kRows), kNoRow);
+        EXPECT_EQ(zero.sample(100, kRows), kNoRow);
+    }
+}

@@ -338,9 +338,11 @@ TEST_F(TraceIoTest, RegistryKnowsSpecsWithoutSideEffects)
     const WorkloadRegistry &reg = WorkloadRegistry::global();
     EXPECT_TRUE(reg.known("mcf-like"));
     EXPECT_TRUE(reg.known("file:/does/not/exist"));
+    EXPECT_TRUE(reg.known("corpus:not-loaded"));
     EXPECT_FALSE(reg.known("no-such-bench"));
-    ASSERT_EQ(reg.schemes().size(), 1u);
-    EXPECT_EQ(reg.schemes()[0], "file");
+    ASSERT_EQ(reg.schemes().size(), 2u);
+    EXPECT_EQ(reg.schemes()[0], "corpus");
+    EXPECT_EQ(reg.schemes()[1], "file");
 }
 
 TEST_F(TraceIoTest, UnknownNameListsThePool)
