@@ -49,6 +49,14 @@ struct JsonSection
     std::vector<std::pair<std::string, std::vector<double>>> rows;
 };
 
+/** One sweep point's wall-clock record (see recordPointTiming). */
+struct TimingRow
+{
+    std::string label;
+    double simSeconds = 0.0;
+    std::uint64_t simulatedCycles = 0;
+};
+
 /** Capture state for the optional BENCH_<driver>.json artifact. */
 struct JsonCapture
 {
@@ -59,6 +67,7 @@ struct JsonCapture
     BenchKnobs knobs;
     std::vector<JsonSection> sections;
     std::vector<std::string> notes;
+    std::vector<TimingRow> timing;
     bool written = false;
 };
 
@@ -133,6 +142,8 @@ writeJson()
     std::fprintf(f, "  \"title\": \"%s\",\n  \"reproduces\": \"%s\",\n",
                  jsonEscape(cap.title).c_str(),
                  jsonEscape(cap.paperRef).c_str());
+    std::fprintf(f, "  \"engine\": \"%s\",\n",
+                 simEngineName(defaultSimEngine()));
     if (cap.haveKnobs) {
         std::fprintf(f,
                      "  \"knobs\": {\"mixes\": %d, \"cycles\": %lld, "
@@ -148,7 +159,40 @@ writeJson()
         std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "",
                      jsonEscape(cap.notes[i]).c_str());
     }
-    std::fprintf(f, "],\n  \"sections\": [\n");
+    std::fprintf(f, "],\n");
+    // Per-sweep-point wall clock: the perf trajectory across PRs.
+    std::fprintf(f, "  \"timing\": [\n");
+    double total_sec = 0.0;
+    std::uint64_t total_cycles = 0;
+    for (std::size_t i = 0; i < cap.timing.size(); ++i) {
+        const TimingRow &t = cap.timing[i];
+        total_sec += t.simSeconds;
+        total_cycles += t.simulatedCycles;
+        double rate = t.simSeconds > 0.0
+                          ? static_cast<double>(t.simulatedCycles) /
+                                t.simSeconds
+                          : 0.0;
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"sim_seconds\": %s, "
+                     "\"simulated_cycles\": %llu, "
+                     "\"cycles_per_sec\": %s},\n",
+                     jsonEscape(t.label).c_str(),
+                     jsonNumber(t.simSeconds).c_str(),
+                     static_cast<unsigned long long>(t.simulatedCycles),
+                     jsonNumber(rate).c_str());
+    }
+    std::fprintf(f,
+                 "    {\"label\": \"total\", \"sim_seconds\": %s, "
+                 "\"simulated_cycles\": %llu, \"cycles_per_sec\": %s}\n"
+                 "  ],\n",
+                 jsonNumber(total_sec).c_str(),
+                 static_cast<unsigned long long>(total_cycles),
+                 jsonNumber(total_sec > 0.0
+                                ? static_cast<double>(total_cycles) /
+                                      total_sec
+                                : 0.0)
+                     .c_str());
+    std::fprintf(f, "  \"sections\": [\n");
     for (std::size_t s = 0; s < cap.sections.size(); ++s) {
         const JsonSection &sec = cap.sections[s];
         std::fprintf(f, "    {\"label\": \"%s\", \"columns\": [",
@@ -244,6 +288,23 @@ note(const std::string &text)
 }
 
 /**
+ * Record one sweep point's wall clock for the HIRA_JSON artifact's
+ * "timing" block (sim seconds, simulated cycles; cycles/sec and a
+ * total row are derived at write time). SweepGrid::run() records every
+ * plan point automatically; call directly for hand-rolled sweeps.
+ */
+inline void
+recordPointTiming(const std::string &label, double sim_seconds,
+                  std::uint64_t simulated_cycles)
+{
+    detail::TimingRow t;
+    t.label = label;
+    t.simSeconds = sim_seconds;
+    t.simulatedCycles = simulated_cycles;
+    detail::capture().timing.push_back(std::move(t));
+}
+
+/**
  * Periodic-refresh scheme from its display label ("Baseline" or
  * "HiRA-<N>"), as swept by the fig13/fig14 geometry drivers.
  */
@@ -295,6 +356,12 @@ paraSchemeLabel(int slack)
  * output and the JSON artifact), else the generated synthetic mixes.
  * Pass the result to the explicit-mixes SweepRunner constructor; call
  * after banner() so the corpus note lands in the capture.
+ *
+ * HIRA_CORPUS_ONCE=1 switches corpus mixes to fixed-work mode: every
+ * spec gets the "?once" suffix, so each core executes its trace once
+ * and then idles on non-memory instructions instead of looping. This
+ * is the standard run-N-instructions trace methodology, and its long
+ * idle tails are where the event engine's skip-ahead pays off most.
  */
 inline std::vector<WorkloadMix>
 mixesFromEnv(const BenchKnobs &k)
@@ -309,7 +376,15 @@ mixesFromEnv(const BenchKnobs &k)
         priors += e.hasAloneIpc() ? 1 : 0;
     note(strprintf("corpus: %s (%zu traces, %zu with alone-IPC priors)",
                    corpus->dir().c_str(), corpus->size(), priors));
-    return makeCorpusMixes(k.mixes, k.cores, *corpus);
+    std::vector<WorkloadMix> mixes =
+        makeCorpusMixes(k.mixes, k.cores, *corpus);
+    if (envKnob("HIRA_CORPUS_ONCE", 0) != 0) {
+        note("corpus mixes run in fixed-work (?once) mode");
+        for (WorkloadMix &mix : mixes)
+            for (std::string &spec : mix)
+                spec += "?once";
+    }
+    return mixes;
 }
 
 /**
@@ -336,6 +411,12 @@ class SweepGrid
     run(SweepRunner &runner)
     {
         results_ = runner.runPoints(points_);
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            recordPointTiming(
+                strprintf("%s @ %s", points_[i].scheme.label().c_str(),
+                          points_[i].geom.key().c_str()),
+                results_[i].wallSeconds, results_[i].simCycles);
+        }
     }
 
     const PointResult &

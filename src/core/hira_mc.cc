@@ -156,6 +156,52 @@ HiraMc::tick(Cycle now)
     caseTwo(now);
 }
 
+Cycle
+HiraMc::nextEventCycle(Cycle now) const
+{
+    // The refptr tREFW window reset is a state change and must execute
+    // at the same tick in both engines. The scan bails at the floor:
+    // no horizon can pull the wake below the next cycle.
+    const Cycle floor = now + 1;
+    Cycle wake = nextWindowReset;
+    auto consider = [&wake, floor](Cycle c) {
+        if (c < wake)
+            wake = c;
+        return wake <= floor;
+    };
+
+    // Queued refresh requests: not-yet-due entries sleep until their
+    // case-2 urgency instant; due entries wait on their bank's timing
+    // horizon. Blocked banks (refresh row open awaiting auto-PRE) are
+    // unblocked by an issue, after which the controller polls densely.
+    const ChannelTimingModel &model = ctrl->timing();
+    for (const RefreshTable &table : tables) {
+        for (const RefreshEntry &e : table.all()) {
+            if (e.deadline > now + marginCycles) {
+                if (consider(e.deadline - marginCycles))
+                    return floor;
+                continue;
+            }
+            if (ctrl->bankBlocked(e.rank, e.bank))
+                continue;
+            if (consider(model.earliestBankCommand(e.rank, e.bank)))
+                return floor;
+        }
+    }
+
+    if (cfg.periodicViaHira) {
+        // First cycle c with nextGen <= c, i.e. ceil of the generation
+        // instant (exact: generation instants stay far below 2^53).
+        for (double g : nextGen) {
+            if (consider(static_cast<Cycle>(std::ceil(g))))
+                return floor;
+        }
+    } else if (consider(baseline->nextEventCycle(now))) {
+        return floor;
+    }
+    return wake;
+}
+
 bool
 HiraMc::caseTwo(Cycle now)
 {

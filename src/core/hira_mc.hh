@@ -75,6 +75,7 @@ class HiraMc : public RefreshScheme
 
     void attach(MemoryController *ctrl) override;
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
     RowId pickHiddenRefresh(int rank, BankId bank, RowId row_a,
                             Cycle now) override;
     void onHiraIssued(int rank, BankId bank, RowId refresh_row,

@@ -187,6 +187,13 @@ ChannelTimingModel::earliestHira(int rank, BankId bank) const
     return t;
 }
 
+Cycle
+ChannelTimingModel::earliestBankCommand(int rank, BankId bank) const
+{
+    return bankClosed(rank, bank) ? earliestAct(rank, bank)
+                                  : earliestPre(rank, bank);
+}
+
 void
 ChannelTimingModel::issueAct(int rank, BankId bank, RowId row, Cycle now)
 {

@@ -102,6 +102,17 @@ class ChannelTimingModel
      */
     Cycle earliestHira(int rank, BankId bank) const;
 
+    /**
+     * Earliest cycle the bank's next row command could legally issue:
+     * an ACT when the bank is closed, a PRE when a row is open. This is
+     * the bank's scheduling horizon for the event-driven engine
+     * (src/sim/system.cc): until this cycle, no controller decision on
+     * the bank can change, so a quiescent controller may sleep to the
+     * minimum of these horizons without diverging from per-cycle
+     * polling.
+     */
+    Cycle earliestBankCommand(int rank, BankId bank) const;
+
     // --- mutations ---------------------------------------------------
 
     void issueAct(int rank, BankId bank, RowId row, Cycle now);

@@ -98,6 +98,18 @@ bool
 MemoryController::enqueue(const Request &req)
 {
     hira_assert(req.da.channel == channel);
+    // Wake the event engine exactly when the dense loop would first see
+    // this request: this same cycle if our tick is still ahead of us in
+    // the current cycle's controller phase, the next cycle if we
+    // already ticked (lastTick == arrival). When the cache is invalid
+    // (we ticked this cycle and nobody queried since), the lazy
+    // recompute sees the queued request itself.
+    if (nextWakeValid) {
+        Cycle seen = lastTick == req.arrival ? req.arrival + 1
+                                             : req.arrival;
+        if (seen < nextWake)
+            nextWake = seen;
+    }
     if (req.type == MemType::Read) {
         // Forward from a queued write to the same line.
         for (const Request &w : writeQ) {
@@ -293,12 +305,15 @@ MemoryController::tick(Cycle now)
 {
     issuedThisCycle = false;
     lastTick = now;
-    // Retire expired HiRA bus-slot reservations.
+    // Retire expired HiRA bus-slot reservations (at most a handful of
+    // future slots; plain index compaction, nothing allocates here).
     if (!reservedSlots.empty()) {
-        reservedSlots.erase(
-            std::remove_if(reservedSlots.begin(), reservedSlots.end(),
-                           [now](Cycle c) { return c < now; }),
-            reservedSlots.end());
+        std::size_t kept = 0;
+        for (Cycle c : reservedSlots) {
+            if (c >= now)
+                reservedSlots[kept++] = c;
+        }
+        reservedSlots.resize(kept);
     }
 
     autoPreTick(now);
@@ -308,6 +323,7 @@ MemoryController::tick(Cycle now)
         preventiveTick(now);
     if (!issuedThisCycle)
         scheduleDemand(now);
+    nextWakeValid = false; // state changed; nextEvent() recomputes
 }
 
 void
@@ -362,6 +378,119 @@ MemoryController::preventiveTick(Cycle now)
             return;
         }
     }
+}
+
+Cycle
+MemoryController::nextEvent() const
+{
+    if (!nextWakeValid) {
+        nextWake = computeNextEvent(lastTick);
+        nextWakeValid = true;
+    }
+    return nextWake;
+}
+
+Cycle
+MemoryController::computeNextEvent(Cycle now) const
+{
+    // An issue can cascade (scheme bookkeeping, freed banks, hysteresis
+    // flips): always poll the following cycle.
+    if (issuedThisCycle)
+        return now + 1;
+
+    // Horizons can never push the wake below the next cycle, so the
+    // scan bails as soon as the running minimum reaches that floor.
+    const Cycle floor = now + 1;
+    Cycle wake = kNeverCycle;
+    auto consider = [&wake, floor](Cycle c) {
+        if (c < wake)
+            wake = c;
+        return wake <= floor;
+    };
+
+    // Demand queues. Both queues are considered regardless of the
+    // write-drain mode: the hysteresis flip is a pure function of the
+    // queue depths, which only change at ticks the wake list already
+    // covers, so polling at the earliest per-request horizon reproduces
+    // the dense flip cycle. Row-hit gating of conflict PREs is ignored
+    // here (conservative: wake early, find nothing, sleep again).
+    // Requests sharing a bank share a horizon per class (row hit vs
+    // row command), so each (bank, class) is computed at most once.
+    horizonSeen.assign(bankAux.size(), 0);
+    auto considerRequest = [&](const Request &req, bool is_read) {
+        int rank = req.da.rank;
+        BankId bank = req.da.bank;
+        std::size_t idx = bankIndex(rank, bank);
+        const BankAux &a = bankAux[idx];
+        if (a.refreshOpen)
+            return false; // unblocked by the auto-PRE horizon below
+        RowId open = model.openRow(rank, bank);
+        if (open == req.da.row) {
+            std::uint8_t bit = is_read ? 1 : 2;
+            if ((horizonSeen[idx] & bit) != 0)
+                return false;
+            horizonSeen[idx] |= bit;
+            return consider(is_read ? model.earliestRd(rank, bank)
+                                    : model.earliestWr(rank, bank));
+        }
+        if ((horizonSeen[idx] & 4) != 0)
+            return false;
+        horizonSeen[idx] |= 4;
+        if (open == kNoRow) {
+            if (!rankHeld(rank))
+                return consider(model.earliestAct(rank, bank));
+            // Held ranks: the holding scheme's horizon polls densely
+            // while it drains the rank toward a REF.
+            return false;
+        }
+        return consider(model.earliestPre(rank, bank));
+    };
+    for (const Request &r : readQ) {
+        if (considerRequest(r, true))
+            return floor;
+    }
+    for (const Request &r : writeQ) {
+        if (considerRequest(r, false))
+            return floor;
+    }
+
+    // Completions must reach the LLC at exactly their arrival cycle.
+    for (const Completion &c : completions_) {
+        if (consider(c.at))
+            return floor;
+    }
+
+    // Per-bank wake list: auto-PRE of refresh-open rows and queued
+    // immediate-PARA victims, each keyed by its timing-state horizon.
+    for (int rank = 0; rank < cfg.geom.ranksPerChannel; ++rank) {
+        for (BankId b = 0;
+             b < static_cast<BankId>(cfg.geom.banksPerRank()); ++b) {
+            const BankAux &a = aux(rank, b);
+            if (a.refreshOpen) {
+                if (model.openRow(rank, b) != kNoRow &&
+                    consider(model.earliestPre(rank, b))) {
+                    return floor;
+                }
+                continue;
+            }
+            if (a.preventive.empty())
+                continue;
+            if (model.openRow(rank, b) != kNoRow) {
+                if (consider(model.earliestPre(rank, b)))
+                    return floor;
+            } else if (!rankHeld(rank)) {
+                if (consider(model.earliestAct(rank, b)))
+                    return floor;
+            }
+        }
+    }
+
+    if (consider(refreshScheme->nextEventCycle(now)))
+        return floor;
+
+    if (wake == kNeverCycle)
+        return kNeverCycle;
+    return std::max(wake, floor);
 }
 
 bool

@@ -80,6 +80,25 @@ class MemoryController
     /** Advance one memory-bus cycle. */
     void tick(Cycle now);
 
+    /**
+     * Event-engine wake-up: a conservative lower bound on the next
+     * cycle at which tick() could do anything observable or a queued
+     * completion falls due. Between the last tick and this cycle,
+     * tick() is provably a no-op, so the event engine
+     * (src/sim/system.cc) skips it without diverging from per-cycle
+     * polling. The bound is recomputed lazily after each tick from the
+     * per-bank timing-state horizons, queue occupancy, pending
+     * completions, and the refresh scheme's own nextEventCycle();
+     * enqueue() lowers it so newly arriving work is polled at the same
+     * cycle the dense loop would have seen it. HiRA bus-slot
+     * reservations need no horizon of their own: a reservation only
+     * exists after an issue, and an issue always forces a poll of the
+     * following cycle, after which any still-gated horizon degrades to
+     * dense polling. Never later than the true next event; possibly
+     * earlier (a wasted poll, never a divergence).
+     */
+    Cycle nextEvent() const;
+
     /** Completions accumulated since the last drain. */
     std::vector<Completion> &completions() { return completions_; }
 
@@ -162,6 +181,7 @@ class MemoryController
     void markIssued(Cycle now);
     bool slotReservedAt(Cycle c) const;
     void reserveHiraSlots(Cycle now);
+    Cycle computeNextEvent(Cycle now) const;
 
     /** Every activation funnels through here (PARA sampling hook). */
     void onRowActivation(int rank, BankId bank, RowId row, Cycle now);
@@ -191,6 +211,14 @@ class MemoryController
     bool issuedThisCycle = false;
     Cycle lastTick = 0;
     int preventiveCursor = 0;
+
+    // Cached nextEvent() bound: invalidated by tick(), lowered by
+    // enqueue(). mutable so the lazy recompute stays behind a const
+    // query (the cycle engine never queries it and pays nothing).
+    mutable Cycle nextWake = 0;
+    mutable bool nextWakeValid = false;
+    // computeNextEvent() scratch: per-bank (class) dedup bits.
+    mutable std::vector<std::uint8_t> horizonSeen;
 
     ControllerStats stats_;
     CommandTraceRecorder recorder;

@@ -64,4 +64,32 @@ BaselineRefresh::tick(Cycle now)
     }
 }
 
+Cycle
+BaselineRefresh::nextEventCycle(Cycle now) const
+{
+    Cycle wake = kNeverCycle;
+    const Geometry &geom = ctrl->geometry();
+    for (int r = 0; r < geom.ranksPerChannel; ++r) {
+        std::size_t ri = static_cast<std::size_t>(r);
+        if (closing[ri])
+            return now + 1; // actively draining banks toward a REF
+        if (debt[ri] > 0) {
+            // After an un-gated tick, a standing debt means the REF is
+            // being postponed (reads queued, within the bound). The
+            // postponement can end two ways: the read queue drains —
+            // an issue event, after which the controller polls densely
+            // anyway — or the debt crosses the bound at the next
+            // accrual. Ticks gated by a reserved HiRA bus slot can
+            // also leave debt standing with an empty read queue; then
+            // the scheme wants to act as soon as the gate lifts.
+            bool must = debt[ri] > maxPostpone;
+            if (must || ctrl->queuedReads() == 0)
+                return now + 1;
+        }
+        if (nextRefAt[ri] < wake)
+            wake = nextRefAt[ri]; // next debt accrual instant
+    }
+    return wake;
+}
+
 } // namespace hira

@@ -77,6 +77,23 @@ class RefreshScheme
         (void)rank; (void)bank; (void)row; (void)now;
     }
 
+    /**
+     * Event-engine horizon: a conservative lower bound on the next
+     * cycle at which tick() could observably act or change state, given
+     * no intervening commands on the channel (any issue wakes the
+     * controller for the following cycle anyway). Returning a cycle
+     * that is too *early* only costs a wasted poll; returning one that
+     * is too *late* breaks the bitwise cycle/event equivalence, so when
+     * in doubt return now + 1 (the base-class default, which keeps
+     * unknown schemes correct by degrading them to dense ticking).
+     * kNeverCycle means "nothing scheduled".
+     */
+    virtual Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return now + 1;
+    }
+
     const RefreshStats &stats() const { return stats_; }
 
   protected:
@@ -89,6 +106,7 @@ class NoRefresh : public RefreshScheme
 {
   public:
     void tick(Cycle) override {}
+    Cycle nextEventCycle(Cycle) const override { return kNeverCycle; }
 };
 
 /**
@@ -110,6 +128,7 @@ class BaselineRefresh : public RefreshScheme
 
     void attach(MemoryController *ctrl) override;
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
 
     /** Currently postponed REFs on the rank (test hook). */
     int debtOf(int rank) const { return debt[rank]; }

@@ -65,6 +65,22 @@ class Llc
     /** Per-memory-cycle pump: retry queued outbound requests. */
     void tick(Cycle mem_now);
 
+    /** True while the outbound miss/writeback queue holds requests. */
+    bool outboundPending() const { return !outbound.empty(); }
+
+    /**
+     * Event-engine horizon: while the outbound queue is non-empty the
+     * LLC must be pumped every cycle (each failed retry counts a
+     * controller-side rejection, which the dense loop accrues per
+     * cycle); otherwise tick() is a no-op and the LLC sleeps until a
+     * core access or a memory completion touches it.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return outbound.empty() ? kNeverCycle : now + 1;
+    }
+
     // Stats.
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

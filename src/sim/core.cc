@@ -5,9 +5,10 @@
 namespace hira {
 
 CoreModel::CoreModel(int core_id, TraceSource &trace, Llc &shared_llc,
-                     int issue_width, int window_entries)
+                     int issue_width, int window_entries,
+                     bool allow_exhausted_ff)
     : id(core_id), gen(trace), llc(shared_llc), width(issue_width),
-      windowSize(window_entries)
+      windowSize(window_entries), allowExhaustedFf(allow_exhausted_ff)
 {
     hira_assert(issue_width > 0 && window_entries > 0);
     window.assign(static_cast<std::size_t>(window_entries), Slot{});
@@ -64,9 +65,12 @@ CoreModel::dispatchOne(Cycle mem_now)
                 s.done = false;
                 s.tag = tag;
                 s.waitingMem = true;
+                ++waitingMemCount;
             }
         }
     }
+    if (s.done && s.readyAt > maxReadyAt)
+        maxReadyAt = s.readyAt;
     hasPendingInst = false;
     tail = (tail + 1) % window.size();
     ++occupancy;
@@ -97,11 +101,67 @@ CoreModel::onDataReturn(std::uint64_t tag)
             s.done = true;
             s.waitingMem = false;
             s.readyAt = cpuCycle;
+            if (s.readyAt > maxReadyAt)
+                maxReadyAt = s.readyAt;
+            --waitingMemCount;
             return;
         }
     }
     // Returns for slots that already left the measurement window (e.g.,
     // after a stats reset) are harmless.
+}
+
+void
+CoreModel::fastForward(Cycle nticks)
+{
+    if (nticks == 0)
+        return;
+    if (steadyExhausted()) {
+        // Each skipped tick retires `width` and dispatches `width`
+        // non-memory instructions: occupancy, loads, stores and
+        // stallCycles are unchanged; the ring advances width per tick.
+        std::size_t wsize = window.size();
+        cpuCycle += nticks;
+        retired += static_cast<std::uint64_t>(width) * nticks;
+        std::size_t adv = static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(width) * nticks) % wsize);
+        head = (head + adv) % wsize;
+        tail = (tail + adv) % wsize;
+        for (std::size_t pos = 0; pos < wsize; ++pos) {
+            // Ring membership relative to the advanced head.
+            std::size_t off = (pos + wsize - head) % wsize;
+            if (off >= occupancy)
+                window[pos].valid = false;
+        }
+        // Stamp the slots (re)dispatched during the skip with the exact
+        // per-tick readyAt the dense loop would have written (width
+        // dispatches per tick, newest at the final cpuCycle). Exact —
+        // not merely "retirable" — values matter: resetStats() rewinds
+        // cpuCycle, which turns these stamps back into future times, so
+        // approximating them would diverge from the cycle engine after
+        // a reset. Older survivors keep their pre-skip state untouched.
+        std::uint64_t redispatched =
+            std::min(static_cast<std::uint64_t>(width) * nticks,
+                     static_cast<std::uint64_t>(occupancy));
+        for (std::uint64_t j = 0; j < redispatched; ++j) {
+            // j counts back from the newest slot.
+            std::size_t pos =
+                (head + occupancy - 1 - static_cast<std::size_t>(j)) %
+                wsize;
+            Slot &s = window[pos];
+            s.valid = true;
+            s.done = true;
+            s.waitingMem = false;
+            s.tag = 0;
+            s.readyAt = cpuCycle - j / static_cast<std::uint64_t>(width);
+        }
+        if (cpuCycle > maxReadyAt)
+            maxReadyAt = cpuCycle;
+        return;
+    }
+    // Stall regime: each skipped tick is {++cpuCycle, ++stallCycles}.
+    cpuCycle += nticks;
+    stallCycles += nticks;
 }
 
 void

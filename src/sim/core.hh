@@ -26,12 +26,63 @@ class CoreModel
      * @param shared_llc the shared LLC
      * @param issue_width issue/retire width (4)
      * @param window instruction-window entries (128)
+     * @param allow_exhausted_ff permit the exhausted-trace fast-forward
+     *        (see skipTicks()); must be false when the trace source has
+     *        to observe every next() call (e.g. a TraceRecorder dump)
      */
     CoreModel(int core_id, TraceSource &trace, Llc &shared_llc,
-              int issue_width = 4, int window = 128);
+              int issue_width = 4, int window = 128,
+              bool allow_exhausted_ff = true);
 
     /** Advance one CPU cycle (@p mem_now is the memory-clock time). */
     void tick(Cycle mem_now);
+
+    /**
+     * Event-engine probe: how many upcoming CPU cycles tick() is
+     * guaranteed to evolve in closed form, so the event kernel can
+     * fast-forward them in bulk. Two closed-form regimes exist:
+     *
+     * - Stalled: dispatch is blocked (window full, or the pending
+     *   memory instruction is LLC-blocked) and the window head cannot
+     *   retire. Each tick is exactly {++cpuCycle, ++stallCycles}.
+     *   Returns the tick count until the head's readyAt unblocks
+     *   retirement, or kNeverCycle when only an external data return
+     *   can end the stall (the kernel wakes at the completion's cycle).
+     * - Exhausted steady run: the trace has run dry (only non-memory
+     *   instructions remain, per the TraceSource contract), nothing
+     *   waits on memory, and every window slot is retirable. Each tick
+     *   retires and re-dispatches exactly `width` instructions with no
+     *   LLC interaction. Returns kNeverCycle (bounded by the caller).
+     *
+     * Returns 0 when the next tick must run normally. The caller must
+     * invoke fastForward() with at most this many ticks before any
+     * other core/LLC/controller activity occurs.
+     *
+     * Inline: the event kernel probes every core every executed cycle.
+     */
+    Cycle
+    skipTicks() const
+    {
+        if (steadyExhausted())
+            return kNeverCycle;
+        // Stall regime: dispatch blocked and no retirement possible.
+        bool blocked =
+            occupancy >= static_cast<std::size_t>(windowSize) ||
+            hasPendingInst;
+        if (!blocked)
+            return 0;
+        if (occupancy == 0)
+            return kNeverCycle; // LLC-blocked with an empty window
+        const Slot &h = window[head];
+        if (!h.done)
+            return kNeverCycle; // head waits on memory: external wake only
+        if (h.readyAt <= cpuCycle + 1)
+            return 0; // next tick retires the head
+        return h.readyAt - cpuCycle - 1;
+    }
+
+    /** Apply @p nticks closed-form ticks (see skipTicks()). */
+    void fastForward(Cycle nticks);
 
     /** A missed load's data returned (tag from the access). */
     void onDataReturn(std::uint64_t tag);
@@ -67,16 +118,40 @@ class CoreModel
     bool dispatchOne(Cycle mem_now);
     void retireReady();
 
+    bool
+    steadyExhausted() const
+    {
+        // All conditions together guarantee a closed-form tick: only
+        // non-memory instructions remain (TraceSource contract once
+        // exhausted() holds), nothing waits on memory, every window
+        // slot is retirable (maxReadyAt is a monotone
+        // over-approximation), and the window is deep enough that each
+        // tick retires and re-dispatches exactly `width` instructions.
+        // Ordered cheapest-reject-first; the virtual exhausted() call
+        // comes last.
+        return allowExhaustedFf && waitingMemCount == 0 &&
+               !hasPendingInst && maxReadyAt <= cpuCycle &&
+               occupancy >= static_cast<std::size_t>(width) &&
+               windowSize >= width && gen.exhausted();
+    }
+
     int id;
     TraceSource &gen;
     Llc &llc;
     int width;
     int windowSize;
+    bool allowExhaustedFf;
     std::vector<Slot> window;
     std::size_t head = 0, tail = 0, occupancy = 0;
     std::uint64_t nextTag = 1;
     bool hasPendingInst = false;
     TraceInst pendingInst;
+
+    // Event-engine bookkeeping: outstanding memory waits, and a
+    // monotone upper bound on every readyAt ever assigned (conservative
+    // retirability test without scanning the window).
+    std::size_t waitingMemCount = 0;
+    Cycle maxReadyAt = 0;
 
     Cycle cpuCycle = 0;
     std::uint64_t retired = 0;

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
 #include <cmath>
 #include <set>
 
@@ -123,6 +124,7 @@ makeSystemConfig(const GeomSpec &geom, const SchemeSpec &scheme,
 RunResult
 runOne(const SystemConfig &cfg, Cycle warmup, Cycle measure)
 {
+    auto t0 = std::chrono::steady_clock::now();
     System sys(cfg);
     sys.run(warmup);
     sys.resetStats();
@@ -130,6 +132,10 @@ runOne(const SystemConfig &cfg, Cycle warmup, Cycle measure)
     RunResult r;
     r.sys = sys.result();
     r.ipc = r.sys.ipc;
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    r.simCycles = warmup + measure;
     return r;
 }
 
@@ -314,6 +320,8 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
                 runs[pi][mi].ipc, alone,
                 strprintf("mix %zu on %s", mi, p.geom.key().c_str()));
             accumulateRefresh(out[pi].refresh, runs[pi][mi].sys.refresh);
+            out[pi].wallSeconds += runs[pi][mi].wallSeconds;
+            out[pi].simCycles += runs[pi][mi].simCycles;
         }
         out[pi].meanWs = sum / static_cast<double>(nMixes);
     }

@@ -70,6 +70,10 @@ struct RunResult
 {
     std::vector<double> ipc;
     SystemResult sys;
+    /** Wall clock spent simulating (construction + warmup + run). */
+    double wallSeconds = 0.0;
+    /** Memory-bus cycles simulated (warmup + measurement). */
+    std::uint64_t simCycles = 0;
 };
 
 /** One (geometry, scheme) point of a sweep grid. */
@@ -84,6 +88,15 @@ struct PointResult
 {
     double meanWs = 0.0;   //!< mean weighted speedup over the mixes
     RefreshStats refresh;  //!< refresh stats summed over the mixes
+    /**
+     * Wall clock summed over the point's mix simulations (CPU-seconds
+     * when the pool shards them across threads; IPC-alone warmups are
+     * shared across points and not attributed). With simCycles this
+     * gives the point's cycles/second — the perf trajectory HIRA_JSON
+     * artifacts record per sweep point (bench/bench_util.hh).
+     */
+    double wallSeconds = 0.0;
+    std::uint64_t simCycles = 0; //!< bus cycles summed over the mixes
 };
 
 /**

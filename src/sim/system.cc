@@ -1,9 +1,39 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
 #include "common/logging.hh"
 #include "workload/registry.hh"
 
 namespace hira {
+
+SimEngine
+defaultSimEngine()
+{
+    const char *v = std::getenv("HIRA_ENGINE");
+    if (v == nullptr || *v == '\0')
+        return SimEngine::EventLoop;
+    if (std::strcmp(v, "event") == 0)
+        return SimEngine::EventLoop;
+    if (std::strcmp(v, "cycle") == 0)
+        return SimEngine::CycleLoop;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+        warn("unknown HIRA_ENGINE='%s' (expected 'cycle' or 'event'); "
+             "using 'event'",
+             v);
+    }
+    return SimEngine::EventLoop;
+}
+
+const char *
+simEngineName(SimEngine engine)
+{
+    return engine == SimEngine::CycleLoop ? "cycle" : "event";
+}
 
 std::unique_ptr<RefreshScheme>
 System::makeScheme() const
@@ -64,9 +94,11 @@ System::System(const SystemConfig &config)
                                                   cfg.traceDumpFormat);
         }
         sources.push_back(std::move(src));
+        // A TraceRecorder must observe every next() call, so the
+        // exhausted-trace fast-forward is disabled when recording.
         cores.push_back(std::make_unique<CoreModel>(
             static_cast<int>(i), *sources.back(), *llc, cfg.coreWidth,
-            cfg.windowEntries));
+            cfg.windowEntries, cfg.traceDumpDir.empty()));
     }
 }
 
@@ -82,34 +114,130 @@ System::route(const Request &req)
 void
 System::run(Cycle cycles)
 {
-    for (Cycle c = 0; c < cycles; ++c) {
-        ++memCycle;
-        for (auto &ctrl : controllers) {
-            ctrl->tick(memCycle);
-            // Deliver completed reads to the LLC.
-            auto &done = ctrl->completions();
-            for (const Completion &comp : done) {
-                if (comp.at <= memCycle)
-                    llc->onMemCompletion(comp.tag, memCycle);
-            }
-            // Keep not-yet-arrived completions (data still on the bus).
-            std::size_t kept = 0;
-            for (const Completion &comp : done) {
-                if (comp.at > memCycle)
-                    done[kept++] = comp;
-            }
-            done.resize(kept);
-        }
-        llc->tick(memCycle);
+    if (cfg.engine == SimEngine::EventLoop)
+        runEvent(cycles);
+    else
+        runCycle(cycles);
+}
 
-        // 3.2 GHz cores over a 1.2 GHz bus: 8 CPU ticks per 3 bus ticks.
-        cpuAccum += 8;
-        while (cpuAccum >= 3) {
-            cpuAccum -= 3;
-            for (auto &core : cores)
-                core->tick(memCycle);
+void
+System::drainCompletions(MemoryController &ctrl)
+{
+    // Deliver completed reads to the LLC; keep not-yet-arrived
+    // completions (data still on the bus). Single pass: delivery order
+    // and the surviving order both match the original vector order.
+    // Deliveries only send writebacks toward the controllers, never
+    // append to a completions vector, so iterating while delivering is
+    // safe.
+    auto &done = ctrl.completions();
+    if (done.empty())
+        return;
+    std::size_t kept = 0;
+    for (const Completion &comp : done) {
+        if (comp.at <= memCycle)
+            llc->onMemCompletion(comp.tag, memCycle);
+        else
+            done[kept++] = comp;
+    }
+    done.resize(kept);
+}
+
+void
+System::executeCycle(bool all_controllers)
+{
+    for (auto &ctrl : controllers) {
+        // Skipping a controller whose wake-up lies ahead is exact: its
+        // tick would be a no-op and none of its completions are due
+        // (nextEvent() lower-bounds both).
+        if (all_controllers || ctrl->nextEvent() <= memCycle) {
+            ctrl->tick(memCycle);
+            ++loopStats_.ctrlTicks;
+            drainCompletions(*ctrl);
         }
     }
+    if (llc->outboundPending())
+        llc->tick(memCycle);
+
+    // 3.2 GHz cores over a 1.2 GHz bus: 8 CPU ticks per 3 bus ticks.
+    cpuAccum += 8;
+    while (cpuAccum >= 3) {
+        cpuAccum -= 3;
+        for (auto &core : cores)
+            core->tick(memCycle);
+    }
+}
+
+void
+System::runCycle(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c) {
+        ++memCycle;
+        executeCycle(true);
+    }
+    loopStats_.simulatedCycles += cycles;
+    loopStats_.executedCycles += cycles;
+}
+
+Cycle
+System::firstActionableCycle() const
+{
+    // Cores first: any core that must tick normally pins the very next
+    // cycle, and the check is O(1) per core, so busy phases pay almost
+    // nothing for the probe.
+    Cycle min_ticks = kNeverCycle;
+    for (const auto &core : cores) {
+        Cycle n = core->skipTicks();
+        if (n == 0)
+            return memCycle + 1;
+        if (n < min_ticks)
+            min_ticks = n;
+    }
+    Cycle wake = kNeverCycle;
+    if (min_ticks != kNeverCycle) {
+        // Largest m with (skipped CPU ticks over m bus cycles)
+        // = floor((cpuAccum + 8m) / 3) <= min_ticks.
+        Cycle m = (3 * min_ticks + 2 - cpuAccum) / 8;
+        if (m == 0)
+            return memCycle + 1;
+        wake = memCycle + m + 1;
+    }
+    Cycle lw = llc->nextEventCycle(memCycle);
+    if (lw < wake)
+        wake = lw;
+    for (const auto &ctrl : controllers) {
+        Cycle w = ctrl->nextEvent();
+        if (w < wake)
+            wake = w;
+    }
+    return std::max(wake, memCycle + 1);
+}
+
+void
+System::runEvent(Cycle cycles)
+{
+    const Cycle end = memCycle + cycles;
+    while (memCycle < end) {
+        Cycle first = firstActionableCycle();
+        if (first > memCycle + 1) {
+            // Cycles (memCycle, first) are provably no-ops for every
+            // component: fast-forward the cores' stall / exhausted-run
+            // ticks in bulk and jump straight to the horizon.
+            Cycle last_skipped = std::min(first - 1, end);
+            Cycle m = last_skipped - memCycle;
+            std::uint64_t ticks = (cpuAccum + 8 * m) / 3;
+            cpuAccum = (cpuAccum + 8 * m) % 3;
+            for (auto &core : cores)
+                core->fastForward(ticks);
+            memCycle = last_skipped;
+            loopStats_.skippedCycles += m;
+            if (memCycle >= end)
+                break;
+        }
+        ++memCycle;
+        ++loopStats_.executedCycles;
+        executeCycle(false);
+    }
+    loopStats_.simulatedCycles += cycles;
 }
 
 void

@@ -3,6 +3,14 @@
  * Full-system wiring: cores -> shared LLC -> per-channel memory
  * controllers, with the 3.2 GHz core / 1.2 GHz DDR4-2400 bus clock
  * crossing (8 CPU cycles per 3 memory cycles).
+ *
+ * Two simulation-loop engines share the wiring (SimEngine, HIRA_ENGINE
+ * knob): the legacy dense loop ticks every component every bus cycle;
+ * the event-driven kernel advances straight to the minimum
+ * nextEventCycle() horizon across controllers, the LLC, and the cores'
+ * stall state, fast-forwarding the skipped CPU ticks in bulk. The two
+ * are bitwise-equivalent at the SystemResult level (see BUILDING.md
+ * "The event-driven simulation kernel" for the component contract).
  */
 
 #ifndef HIRA_SIM_SYSTEM_HH
@@ -28,6 +36,28 @@ enum class SchemeKind
     HiraMc,    //!< HiRA-MC (HiRA-N via HiraMcConfig::slackN)
 };
 
+/**
+ * Simulation-loop engine. Both engines produce bitwise-identical
+ * SystemResult values (pinned by tests/sim/test_engine_diff.cc); they
+ * differ only in wall clock.
+ */
+enum class SimEngine
+{
+    CycleLoop, //!< legacy dense loop: tick every component every bus cycle
+    EventLoop, //!< skip-ahead kernel driven by nextEventCycle() horizons
+};
+
+/**
+ * Engine selected by the HIRA_ENGINE environment variable ("cycle" or
+ * "event"; default "event"). Read on every call so tests can flip the
+ * variable between runs; unknown values warn once and fall back to the
+ * default.
+ */
+SimEngine defaultSimEngine();
+
+/** Display name ("cycle" / "event") for logs and HIRA_JSON artifacts. */
+const char *simEngineName(SimEngine engine);
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -52,6 +82,9 @@ struct SystemConfig
      */
     std::string traceDumpDir;
     TraceFormat traceDumpFormat = TraceFormat::Text;
+
+    /** Simulation-loop engine (defaults to the HIRA_ENGINE knob). */
+    SimEngine engine = defaultSimEngine();
 };
 
 /** Post-run summary. */
@@ -64,6 +97,20 @@ struct SystemResult
     RefreshStats refresh;               //!< summed over channels
     ControllerStats controller;         //!< summed over channels
     std::uint64_t llcHits = 0, llcMisses = 0;
+};
+
+/**
+ * Simulation-loop observability (not part of the cycle/event
+ * equivalence contract, which covers SystemResult only). The
+ * skip-ahead regression guard in tests/sim/test_engine_diff.cc asserts
+ * executedCycles < simulatedCycles on an idle-heavy config.
+ */
+struct SimLoopStats
+{
+    std::uint64_t simulatedCycles = 0; //!< bus cycles advanced in total
+    std::uint64_t executedCycles = 0;  //!< loop iterations that ran phases
+    std::uint64_t skippedCycles = 0;   //!< bus cycles fast-forwarded
+    std::uint64_t ctrlTicks = 0;       //!< MemoryController::tick calls
 };
 
 /** The simulated system. */
@@ -85,10 +132,17 @@ class System
     int channels() const { return static_cast<int>(controllers.size()); }
     CoreModel &core(int i) { return *cores[i]; }
     Cycle now() const { return memCycle; }
+    SimEngine engine() const { return cfg.engine; }
+    const SimLoopStats &loopStats() const { return loopStats_; }
 
   private:
     std::unique_ptr<RefreshScheme> makeScheme() const;
     bool route(const Request &req);
+    void runCycle(Cycle cycles);
+    void runEvent(Cycle cycles);
+    void executeCycle(bool all_controllers);
+    void drainCompletions(MemoryController &ctrl);
+    Cycle firstActionableCycle() const;
 
     SystemConfig cfg;
     AddressMapper mapper;
@@ -99,6 +153,7 @@ class System
 
     Cycle memCycle = 0;
     std::uint64_t cpuAccum = 0; //!< 8/3 clock-ratio accumulator
+    SimLoopStats loopStats_;
 };
 
 } // namespace hira

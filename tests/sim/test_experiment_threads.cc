@@ -13,6 +13,8 @@
 #include <set>
 #include <thread>
 
+#include <stdlib.h>
+
 #include "sim/experiment.hh"
 
 using namespace hira;
@@ -95,6 +97,52 @@ TEST(SweepRunnerThreads, RunPointsIdenticalOneVsFourThreads)
         EXPECT_EQ(a[i].refresh.accessPaired, b[i].refresh.accessPaired);
         EXPECT_EQ(a[i].refresh.deadlineMisses,
                   b[i].refresh.deadlineMisses);
+    }
+}
+
+TEST(SweepRunnerThreads, RunPointsIdenticalAcrossEnginesAndThreadCounts)
+{
+    // The sharded plan path must be bitwise identical under either
+    // simulation-loop engine (HIRA_ENGINE), at any thread count: the
+    // event kernel is a pure wall-clock optimization. Guards the full
+    // SweepRunner stack (seeding, alone-IPC cache, reductions) on top
+    // of the per-system differential suite in test_engine_diff.cc.
+    std::vector<SweepPoint> plan;
+    for (int slack : {-1, 2}) {
+        SweepPoint p;
+        if (slack < 0) {
+            p.scheme.kind = SchemeKind::Baseline;
+        } else {
+            p.scheme.kind = SchemeKind::HiraMc;
+            p.scheme.slackN = slack;
+        }
+        plan.push_back(p);
+    }
+
+    auto run_with_engine = [&plan](const char *engine, int threads) {
+        EXPECT_EQ(::setenv("HIRA_ENGINE", engine, 1), 0);
+        SweepRunner runner(tinyKnobs(threads));
+        return runner.runPoints(plan);
+    };
+    std::vector<std::vector<PointResult>> results;
+    results.push_back(run_with_engine("cycle", 1));
+    results.push_back(run_with_engine("event", 1));
+    results.push_back(run_with_engine("event", 4));
+    ::unsetenv("HIRA_ENGINE");
+
+    ASSERT_EQ(results.size(), 3u);
+    for (std::size_t v = 1; v < results.size(); ++v) {
+        ASSERT_EQ(results[v].size(), results[0].size());
+        for (std::size_t i = 0; i < results[0].size(); ++i) {
+            EXPECT_EQ(results[v][i].meanWs, results[0][i].meanWs)
+                << "variant " << v << " point " << i;
+            EXPECT_EQ(results[v][i].refresh.rowRefreshes,
+                      results[0][i].refresh.rowRefreshes);
+            EXPECT_EQ(results[v][i].refresh.refCommands,
+                      results[0][i].refresh.refCommands);
+            EXPECT_EQ(results[v][i].refresh.deadlineMisses,
+                      results[0][i].refresh.deadlineMisses);
+        }
     }
 }
 
