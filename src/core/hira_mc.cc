@@ -63,6 +63,7 @@ HiraMc::attach(MemoryController *controller)
             genIntervalCycles * static_cast<double>(i + 1) /
             static_cast<double>(total_banks);
     }
+    nextGenMinValid = false;
 
     if (baseline != nullptr)
         baseline->attach(controller);
@@ -88,6 +89,7 @@ HiraMc::generatePeriodic(Cycle now)
                 tables[rank].insert(gen + slackCycles, rank, bank,
                                     RefreshType::Periodic);
                 nextGen[idx] += genIntervalCycles;
+                nextGenMinValid = false;
             }
         }
     }
@@ -190,12 +192,19 @@ HiraMc::nextEventCycle(Cycle now) const
     }
 
     if (cfg.periodicViaHira) {
-        // First cycle c with nextGen <= c, i.e. ceil of the generation
-        // instant (exact: generation instants stay far below 2^53).
-        for (double g : nextGen) {
-            if (consider(static_cast<Cycle>(std::ceil(g))))
-                return floor;
+        // First cycle c with min(nextGen) <= c, i.e. ceil of the next
+        // generation instant (exact: instants stay far below 2^53).
+        // ceil is monotone, so caching the double min is equivalent.
+        if (!nextGenMinValid) {
+            nextGenMin = nextGen.empty() ? 0.0 : nextGen[0];
+            for (double g : nextGen) {
+                if (g < nextGenMin)
+                    nextGenMin = g;
+            }
+            nextGenMinValid = true;
         }
+        if (consider(static_cast<Cycle>(std::ceil(nextGenMin))))
+            return floor;
     } else if (consider(baseline->nextEventCycle(now))) {
         return floor;
     }
@@ -263,6 +272,7 @@ HiraMc::caseTwo(Cycle now)
                         rank * ctrl->geometry().banksPerRank()) +
                     bank;
                 nextGen[idx] += genIntervalCycles;
+                nextGenMinValid = false;
                 rankCursor = rank + 1;
                 return true;
             }

@@ -126,6 +126,13 @@ class HiraMc : public RefreshScheme
     ParaSampler sampler;
 
     std::vector<double> nextGen;        //!< per (rank, bank), in cycles
+    // Cached min over nextGen for the event-engine horizon: every tick
+    // recomputes the wake bound, but the array only changes when a
+    // generation instant passes (generatePeriodic) or a pull-ahead
+    // consumes one (caseTwo), so those sites invalidate and the scan
+    // runs once per change instead of once per recompute.
+    mutable double nextGenMin = 0.0;
+    mutable bool nextGenMinValid = false;
     double genIntervalCycles = 0.0;
     Cycle slackCycles = 0;
     Cycle marginCycles = 0;

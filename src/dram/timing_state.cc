@@ -43,6 +43,12 @@ ChannelTimingModel::ChannelTimingModel(const Geometry &g,
         r.rdReadyL.assign(static_cast<std::size_t>(geom.bankGroups), 0);
         r.wrReadyL.assign(static_cast<std::size_t>(geom.bankGroups), 0);
     }
+    resolvedAct.resize(banks.size());
+    resolvedPre.resize(banks.size());
+    resolvedRd.resize(banks.size());
+    resolvedWr.resize(banks.size());
+    resolvedHira.resize(banks.size());
+    resolvedBankCmd.resize(banks.size());
 }
 
 BankState &
@@ -59,18 +65,6 @@ ChannelTimingModel::bankRef(int rank, BankId bank) const
     return banks[static_cast<std::size_t>(rank) *
                      static_cast<std::size_t>(geom.banksPerRank()) +
                  bank];
-}
-
-RowId
-ChannelTimingModel::openRow(int rank, BankId bank) const
-{
-    return bankRef(rank, bank).openRow;
-}
-
-bool
-ChannelTimingModel::bankClosed(int rank, BankId bank) const
-{
-    return bankRef(rank, bank).openRow == kNoRow;
 }
 
 Cycle
@@ -106,63 +100,57 @@ ChannelTimingModel::recordAct(int rank, BankId bank, Cycle now)
     r.fawIdx = (r.fawIdx + 1) % 4;
 }
 
-Cycle
-ChannelTimingModel::earliestAct(int rank, BankId bank) const
+void
+ChannelTimingModel::rebuildResolved() const
 {
-    const BankState &b = bankRef(rank, bank);
-    const RankState &r = ranks[static_cast<std::size_t>(rank)];
-    int group = geom.bankGroupOf(bank);
-    Cycle t = b.actReady;
-    t = std::max(t, r.actReadyS);
-    t = std::max(t, r.actReadyL[static_cast<std::size_t>(group)]);
-    t = std::max(t, r.refBlockUntil);
-    t = std::max(t, fawConstraint(r, 1));
-    return t;
-}
+    // One flat pass refreshing every bank's resolved horizons. Values
+    // are identical to the retired per-query max-chains; hoisting the
+    // rank-common terms out of the bank loop is what makes the pass
+    // cheap enough to run after every issued command.
+    const int bpr = geom.banksPerRank();
+    for (int rank = 0; rank < geom.ranksPerChannel; ++rank) {
+        const RankState &r = ranks[static_cast<std::size_t>(rank)];
+        Cycle act_rank = std::max(r.actReadyS, r.refBlockUntil);
+        act_rank = std::max(act_rank, fawConstraint(r, 1));
+        Cycle faw2 = fawConstraint(r, 2);
+        Cycle bus_free = dataBusFree;
+        if (dataBusLastRank >= 0 && dataBusLastRank != rank)
+            bus_free += tc.rtrs;
+        Cycle rd_rank = std::max(r.rdReadyS, r.refBlockUntil);
+        Cycle wr_rank = std::max(r.wrReadyS, r.refBlockUntil);
+        std::size_t base = static_cast<std::size_t>(rank) *
+                           static_cast<std::size_t>(bpr);
+        for (int bank = 0; bank < bpr; ++bank) {
+            std::size_t i = base + static_cast<std::size_t>(bank);
+            const BankState &b = banks[i];
+            std::size_t group = static_cast<std::size_t>(
+                geom.bankGroupOf(static_cast<BankId>(bank)));
 
-Cycle
-ChannelTimingModel::earliestPre(int rank, BankId bank) const
-{
-    const BankState &b = bankRef(rank, bank);
-    const RankState &r = ranks[static_cast<std::size_t>(rank)];
-    return std::max(b.preReady, r.refBlockUntil);
-}
+            Cycle act = std::max(b.actReady, act_rank);
+            act = std::max(act, r.actReadyL[group]);
+            resolvedAct[i] = act;
+            resolvedHira[i] = std::max(act, faw2);
 
-Cycle
-ChannelTimingModel::earliestRd(int rank, BankId bank) const
-{
-    const BankState &b = bankRef(rank, bank);
-    const RankState &r = ranks[static_cast<std::size_t>(rank)];
-    int group = geom.bankGroupOf(bank);
-    Cycle t = b.rdReady;
-    t = std::max(t, r.rdReadyS);
-    t = std::max(t, r.rdReadyL[static_cast<std::size_t>(group)]);
-    t = std::max(t, r.refBlockUntil);
-    // Data bus: burst starts at t + CL; honor rank switch turnaround.
-    Cycle bus_free = dataBusFree;
-    if (dataBusLastRank >= 0 && dataBusLastRank != rank)
-        bus_free += tc.rtrs;
-    if (bus_free > t + tc.cl)
-        t = bus_free - tc.cl;
-    return t;
-}
+            Cycle pre = std::max(b.preReady, r.refBlockUntil);
+            resolvedPre[i] = pre;
+            resolvedBankCmd[i] = b.openRow == kNoRow ? act : pre;
 
-Cycle
-ChannelTimingModel::earliestWr(int rank, BankId bank) const
-{
-    const BankState &b = bankRef(rank, bank);
-    const RankState &r = ranks[static_cast<std::size_t>(rank)];
-    int group = geom.bankGroupOf(bank);
-    Cycle t = b.wrReady;
-    t = std::max(t, r.wrReadyS);
-    t = std::max(t, r.wrReadyL[static_cast<std::size_t>(group)]);
-    t = std::max(t, r.refBlockUntil);
-    Cycle bus_free = dataBusFree;
-    if (dataBusLastRank >= 0 && dataBusLastRank != rank)
-        bus_free += tc.rtrs;
-    if (bus_free > t + tc.cwl)
-        t = bus_free - tc.cwl;
-    return t;
+            Cycle rd = std::max(b.rdReady, rd_rank);
+            rd = std::max(rd, r.rdReadyL[group]);
+            // Data bus: burst starts at rd + CL; honor rank switch
+            // turnaround.
+            if (bus_free > rd + tc.cl)
+                rd = bus_free - tc.cl;
+            resolvedRd[i] = rd;
+
+            Cycle wr = std::max(b.wrReady, wr_rank);
+            wr = std::max(wr, r.wrReadyL[group]);
+            if (bus_free > wr + tc.cwl)
+                wr = bus_free - tc.cwl;
+            resolvedWr[i] = wr;
+        }
+    }
+    resolvedDirty = false;
 }
 
 Cycle
@@ -178,22 +166,6 @@ ChannelTimingModel::earliestRef(int rank) const
     return t;
 }
 
-Cycle
-ChannelTimingModel::earliestHira(int rank, BankId bank) const
-{
-    const RankState &r = ranks[static_cast<std::size_t>(rank)];
-    Cycle t = earliestAct(rank, bank);
-    t = std::max(t, fawConstraint(r, 2));
-    return t;
-}
-
-Cycle
-ChannelTimingModel::earliestBankCommand(int rank, BankId bank) const
-{
-    return bankClosed(rank, bank) ? earliestAct(rank, bank)
-                                  : earliestPre(rank, bank);
-}
-
 void
 ChannelTimingModel::issueAct(int rank, BankId bank, RowId row, Cycle now)
 {
@@ -206,6 +178,7 @@ ChannelTimingModel::issueAct(int rank, BankId bank, RowId row, Cycle now)
     b.preReady = std::max(b.preReady, now + tc.ras);
     b.actReady = std::max(b.actReady, now + tc.rc);
     recordAct(rank, bank, now);
+    resolvedDirty = true;
 }
 
 void
@@ -215,6 +188,7 @@ ChannelTimingModel::issuePre(int rank, BankId bank, Cycle now)
     hira_assert(now >= earliestPre(rank, bank));
     b.openRow = kNoRow;
     b.actReady = std::max(b.actReady, now + tc.rp);
+    resolvedDirty = true;
 }
 
 Cycle
@@ -246,6 +220,7 @@ ChannelTimingModel::issueRd(int rank, BankId bank, Cycle now)
     dataBusFree = rd_end;
     dataBusLastRank = rank;
     dataBusBusy += tc.bl;
+    resolvedDirty = true;
     return rd_end;
 }
 
@@ -273,6 +248,7 @@ ChannelTimingModel::issueWr(int rank, BankId bank, Cycle now)
     dataBusFree = wr_end;
     dataBusLastRank = rank;
     dataBusBusy += tc.bl;
+    resolvedDirty = true;
     return wr_end;
 }
 
@@ -286,6 +262,7 @@ ChannelTimingModel::issueRef(int rank, Cycle now)
         BankState &bs = bankRef(rank, b);
         bs.actReady = std::max(bs.actReady, now + tc.rfc);
     }
+    resolvedDirty = true;
 }
 
 Cycle
@@ -311,6 +288,7 @@ ChannelTimingModel::issueHira(int rank, BankId bank, RowId refresh_row,
     b.preReady = std::max(b.preReady, second + tc.ras);
     b.actReady = std::max(b.actReady, second + tc.rc);
     recordAct(rank, bank, second);
+    resolvedDirty = true;
     return second;
 }
 

@@ -81,18 +81,62 @@ class ChannelTimingModel
     const Geometry &geometry() const { return geom; }
 
     // --- queries -----------------------------------------------------
+    //
+    // The earliest-command queries read struct-of-arrays horizons
+    // (resolvedAct/Pre/Rd/Wr below, flat-indexed by bankIndex) that are
+    // rebuilt in one pass over all banks the first time a query runs
+    // after a mutation. The controller's scheduling loops query every
+    // queued request per wake, so one batch rebuild per issued command
+    // replaces hundreds of per-query max-chains.
 
-    RowId openRow(int rank, BankId bank) const;
-    bool bankClosed(int rank, BankId bank) const;
+    // Inline: every scheduler scan reads the open row once per queued
+    // request, so this is the single most-called query in the model.
+    RowId
+    openRow(int rank, BankId bank) const
+    {
+        return banks[static_cast<std::size_t>(bankIndex(rank, bank))]
+            .openRow;
+    }
+    bool
+    bankClosed(int rank, BankId bank) const
+    {
+        return openRow(rank, bank) == kNoRow;
+    }
+
+    /** Flat horizon-array index of (rank, bank). */
+    int bankIndex(int rank, BankId bank) const
+    {
+        return rank * geom.banksPerRank() + static_cast<int>(bank);
+    }
 
     /** Earliest cycle an ACT to (rank, bank) may issue. */
-    Cycle earliestAct(int rank, BankId bank) const;
+    Cycle earliestAct(int rank, BankId bank) const
+    {
+        if (resolvedDirty)
+            rebuildResolved();
+        return resolvedAct[static_cast<std::size_t>(bankIndex(rank, bank))];
+    }
     /** Earliest cycle a PRE to (rank, bank) may issue. */
-    Cycle earliestPre(int rank, BankId bank) const;
+    Cycle earliestPre(int rank, BankId bank) const
+    {
+        if (resolvedDirty)
+            rebuildResolved();
+        return resolvedPre[static_cast<std::size_t>(bankIndex(rank, bank))];
+    }
     /** Earliest RD issue cycle (bank must be open; data bus checked). */
-    Cycle earliestRd(int rank, BankId bank) const;
+    Cycle earliestRd(int rank, BankId bank) const
+    {
+        if (resolvedDirty)
+            rebuildResolved();
+        return resolvedRd[static_cast<std::size_t>(bankIndex(rank, bank))];
+    }
     /** Earliest WR issue cycle. */
-    Cycle earliestWr(int rank, BankId bank) const;
+    Cycle earliestWr(int rank, BankId bank) const
+    {
+        if (resolvedDirty)
+            rebuildResolved();
+        return resolvedWr[static_cast<std::size_t>(bankIndex(rank, bank))];
+    }
     /** Earliest all-bank REF for the rank (all banks must be closed). */
     Cycle earliestRef(int rank) const;
     /**
@@ -100,7 +144,12 @@ class ChannelTimingModel
      * nominal ACT constraints plus room for the second ACT in the tFAW
      * window.
      */
-    Cycle earliestHira(int rank, BankId bank) const;
+    Cycle earliestHira(int rank, BankId bank) const
+    {
+        if (resolvedDirty)
+            rebuildResolved();
+        return resolvedHira[static_cast<std::size_t>(bankIndex(rank, bank))];
+    }
 
     /**
      * Earliest cycle the bank's next row command could legally issue:
@@ -111,7 +160,13 @@ class ChannelTimingModel
      * minimum of these horizons without diverging from per-cycle
      * polling.
      */
-    Cycle earliestBankCommand(int rank, BankId bank) const;
+    Cycle earliestBankCommand(int rank, BankId bank) const
+    {
+        if (resolvedDirty)
+            rebuildResolved();
+        return resolvedBankCmd[static_cast<std::size_t>(
+            bankIndex(rank, bank))];
+    }
 
     // --- mutations ---------------------------------------------------
 
@@ -140,11 +195,21 @@ class ChannelTimingModel
     Cycle fawConstraint(const RankState &r, int slots_needed) const;
     void recordAct(int rank, BankId bank, Cycle now);
     Cycle columnDataStart(int rank, bool is_read, Cycle now) const;
+    void rebuildResolved() const;
 
     Geometry geom;
     TimingCycles tc;
     std::vector<BankState> banks;
     std::vector<RankState> ranks;
+
+    // Resolved earliest-command horizons, flat parallel arrays indexed
+    // by bankIndex(). Derived state only: rebuilt from banks/ranks/bus
+    // on the first query after any mutation (resolvedDirty), so the
+    // rebuild runs at most once per issued command.
+    mutable std::vector<Cycle> resolvedAct, resolvedPre;
+    mutable std::vector<Cycle> resolvedRd, resolvedWr;
+    mutable std::vector<Cycle> resolvedHira, resolvedBankCmd;
+    mutable bool resolvedDirty = true;
 
     // Shared data bus.
     Cycle dataBusFree = 0;

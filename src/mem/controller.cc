@@ -20,6 +20,11 @@ MemoryController::MemoryController(int channel_id,
                    static_cast<std::size_t>(cfg.geom.banksPerRank()));
     rankHold.assign(static_cast<std::size_t>(cfg.geom.ranksPerChannel),
                     false);
+    nRead.assign(bankAux.size(), 0);
+    nWrite.assign(bankAux.size(), 0);
+    nReadHit.assign(bankAux.size(), 0);
+    nWriteHit.assign(bankAux.size(), 0);
+    bankSeenScratch.assign(bankAux.size(), 0);
     recorder.setEnabled(cfg.recordTrace);
     refreshScheme->attach(this);
 }
@@ -99,24 +104,35 @@ MemoryController::enqueue(const Request &req)
 {
     hira_assert(req.da.channel == channel);
     // Wake the event engine exactly when the dense loop would first see
-    // this request: this same cycle if our tick is still ahead of us in
-    // the current cycle's controller phase, the next cycle if we
-    // already ticked (lastTick == arrival). When the cache is invalid
-    // (we ticked this cycle and nobody queried since), the lazy
-    // recompute sees the queued request itself.
-    if (nextWakeValid) {
+    // an accepted request: this same cycle if our tick is still ahead
+    // of us in the current cycle's controller phase, the next cycle if
+    // we already ticked (lastTick == arrival). When the cache is
+    // invalid (we ticked this cycle and nobody queried since), the lazy
+    // recompute sees the queued request itself. Rejected requests leave
+    // the controller untouched and owe no wake — lowering the wake on
+    // the LLC's per-cycle outbound retries would pin a full controller
+    // to dense polling for as long as its queue stays full.
+    auto lowerWake = [this, &req]() {
         Cycle seen = lastTick == req.arrival ? req.arrival + 1
                                              : req.arrival;
-        if (seen < nextWake)
+        if (nextWakeValid && seen < nextWake)
             nextWake = seen;
-    }
+        if (wakeListener)
+            wakeListener(seen);
+    };
     if (req.type == MemType::Read) {
-        // Forward from a queued write to the same line.
+        // Forward from a queued write to the same line. The forward
+        // serves the read (fixed latency, data from the write queue),
+        // so it counts toward readsServed / readLatencySum like any
+        // other completed read; `forwards` stays as the sub-count.
         for (const Request &w : writeQ) {
             if (w.addr == req.addr) {
                 completions_.push_back(
                     {req.tag, req.coreId, req.arrival + 4});
                 ++stats_.forwards;
+                ++stats_.readsServed;
+                stats_.readLatencySum += 4;
+                lowerWake();
                 return true;
             }
         }
@@ -125,6 +141,11 @@ MemoryController::enqueue(const Request &req)
             return false;
         }
         readQ.push_back(req);
+        std::size_t idx = bankIndex(req.da.rank, req.da.bank);
+        ++nRead[idx];
+        if (model.openRow(req.da.rank, req.da.bank) == req.da.row)
+            ++nReadHit[idx];
+        lowerWake();
         return true;
     }
     if (writeQueueFull()) {
@@ -132,7 +153,36 @@ MemoryController::enqueue(const Request &req)
         return false;
     }
     writeQ.push_back(req);
+    std::size_t idx = bankIndex(req.da.rank, req.da.bank);
+    ++nWrite[idx];
+    if (model.openRow(req.da.rank, req.da.bank) == req.da.row)
+        ++nWriteHit[idx];
+    lowerWake();
     return true;
+}
+
+void
+MemoryController::recountHits(int rank, BankId bank)
+{
+    std::size_t idx = bankIndex(rank, bank);
+    RowId open = model.openRow(rank, bank);
+    std::uint16_t nr = 0, nw = 0;
+    if (open != kNoRow) {
+        for (const Request &r : readQ) {
+            if (r.da.rank == rank && r.da.bank == bank &&
+                r.da.row == open) {
+                ++nr;
+            }
+        }
+        for (const Request &r : writeQ) {
+            if (r.da.rank == rank && r.da.bank == bank &&
+                r.da.row == open) {
+                ++nw;
+            }
+        }
+    }
+    nReadHit[idx] = nr;
+    nWriteHit[idx] = nw;
 }
 
 void
@@ -248,6 +298,10 @@ MemoryController::tryPre(int rank, BankId bank, Cycle now)
     markIssued(now);
     ++stats_.pres;
     aux(rank, bank).refreshOpen = false;
+    // Row closed: nothing hits it any more (recountHits shortcut).
+    std::size_t idx = bankIndex(rank, bank);
+    nReadHit[idx] = 0;
+    nWriteHit[idx] = 0;
     return true;
 }
 
@@ -264,6 +318,7 @@ MemoryController::tryRefreshAct(int rank, BankId bank, RowId row,
     record(CommandType::ACT, now, rank, bank, row);
     markIssued(now);
     aux(rank, bank).refreshOpen = true;
+    recountHits(rank, bank); // a refresh row can match queued requests
     onRowActivation(rank, bank, row, now);
     return true;
 }
@@ -291,6 +346,7 @@ MemoryController::tryHiraRefreshPair(int rank, BankId bank, RowId first,
     markIssued(now);
     ++stats_.hiraOps;
     aux(rank, bank).refreshOpen = true; // auto-PRE after the second tRAS
+    recountHits(rank, bank); // bank now open with `second`
     onRowActivation(rank, bank, first, now);
     onRowActivation(rank, bank, second, second_at);
     return true;
@@ -358,18 +414,18 @@ MemoryController::preventiveTick(Cycle now)
         if (a.preventive.empty() || a.refreshOpen)
             continue;
         if (model.openRow(rank, bank) == kNoRow) {
-            if (rankHeld(rank))
-                continue;
-            RowId victim = a.preventive.front();
-            if (model.earliestAct(rank, bank) <= now) {
+            // Pop the victim only once the refresh ACT actually issued:
+            // tryRefreshAct re-checks the rank hold, bank state, and
+            // ACT timing itself, and any of those can decline (e.g. a
+            // hold placed between our earliestAct probe and the issue).
+            // Popping first would silently drop the victim — a missed
+            // preventive refresh, invisible until a bit flips.
+            if (tryRefreshAct(rank, bank, a.preventive.front(), now)) {
                 a.preventive.pop_front();
-                bool ok = tryRefreshAct(rank, bank, victim, now);
-                hira_assert(ok);
                 preventiveCursor = idx + 1;
                 return;
             }
-        } else if (!queueHasRowHit(rank, bank,
-                                   model.openRow(rank, bank)) &&
+        } else if (!bankHasOpenRowHit(bankIndex(rank, bank)) &&
                    model.earliestPre(rank, bank) <= now) {
             // Close the bank so the preventive refresh can proceed; row
             // hits in flight drain first.
@@ -393,10 +449,36 @@ MemoryController::nextEvent() const
 Cycle
 MemoryController::computeNextEvent(Cycle now) const
 {
-    // An issue can cascade (scheme bookkeeping, freed banks, hysteresis
-    // flips): always poll the following cycle.
-    if (issuedThisCycle)
-        return now + 1;
+    // The one state change the horizon scan below cannot see is the
+    // write-drain hysteresis flip: writeMode changes how preventiveTick
+    // weighs queued row hits and which queue schedules, and the dense
+    // loop re-evaluates the flip on every busFree tick. The flip is a
+    // pure function of the queue depths, so replaying the hysteresis
+    // block on the current depths tells exactly whether the next dense
+    // tick would change writeMode; if so, poll it. Depth changes
+    // between recomputes cannot be missed: they happen only on issues
+    // (each followed by this recompute) and enqueues (which lower the
+    // wake to arrival+1). Everything else an issue touches —
+    // completions pushed, preventive victims sampled, bank refreshOpen
+    // transitions, scheme bookkeeping, data-bus adjusted horizons —
+    // re-enters through the scan, which runs on post-issue state.
+    {
+        bool wm = writeMode;
+        if (!wm) {
+            if (writeQ.size() >= static_cast<std::size_t>(cfg.drainHigh) ||
+                (readQ.empty() && !writeQ.empty())) {
+                wm = true;
+            }
+        } else if (writeQ.size() <=
+                       static_cast<std::size_t>(cfg.drainLow) &&
+                   !readQ.empty()) {
+            wm = false;
+        }
+        if (wm && writeQ.empty())
+            wm = false;
+        if (wm != writeMode)
+            return now + 1;
+    }
 
     // Horizons can never push the wake below the next cycle, so the
     // scan bails as soon as the running minimum reaches that floor.
@@ -408,50 +490,57 @@ MemoryController::computeNextEvent(Cycle now) const
         return wake <= floor;
     };
 
-    // Demand queues. Both queues are considered regardless of the
-    // write-drain mode: the hysteresis flip is a pure function of the
-    // queue depths, which only change at ticks the wake list already
-    // covers, so polling at the earliest per-request horizon reproduces
-    // the dense flip cycle. Row-hit gating of conflict PREs is ignored
-    // here (conservative: wake early, find nothing, sleep again).
-    // Requests sharing a bank share a horizon per class (row hit vs
-    // row command), so each (bank, class) is computed at most once.
-    horizonSeen.assign(bankAux.size(), 0);
-    auto considerRequest = [&](const Request &req, bool is_read) {
-        int rank = req.da.rank;
-        BankId bank = req.da.bank;
-        std::size_t idx = bankIndex(rank, bank);
-        const BankAux &a = bankAux[idx];
-        if (a.refreshOpen)
-            return false; // unblocked by the auto-PRE horizon below
-        RowId open = model.openRow(rank, bank);
-        if (open == req.da.row) {
-            std::uint8_t bit = is_read ? 1 : 2;
-            if ((horizonSeen[idx] & bit) != 0)
-                return false;
-            horizonSeen[idx] |= bit;
-            return consider(is_read ? model.earliestRd(rank, bank)
-                                    : model.earliestWr(rank, bank));
+    // One sweep over the per-bank request index (nRead / nWrite /
+    // n*Hit), no queue walk at all. Only the active queue can schedule
+    // before the next mode flip, and flips always land on ticks the
+    // wake list covers (the hysteresis check above plus enqueue's wake
+    // lowering), so the inactive class contributes no horizon. The
+    // conflict-PRE and preventive-close entries replay issueRowCommand
+    // / preventiveTick's row-hit gate (bankHasOpenRowHit): a PRE dense
+    // defers while the open row has queued hits is not considered,
+    // because the hit counts only change at covered ticks (hit issues,
+    // hit arrivals through enqueue, row transitions through commands),
+    // after which this recompute runs again.
+    const int bpr = cfg.geom.banksPerRank();
+    for (int rank = 0; rank < cfg.geom.ranksPerChannel; ++rank) {
+        // Held ranks: the holding scheme's horizon polls densely while
+        // it drains the rank toward a REF, so ACT entries drop out.
+        const bool held = rankHold[static_cast<std::size_t>(rank)];
+        for (BankId b = 0; b < static_cast<BankId>(bpr); ++b) {
+            std::size_t idx = bankIndex(rank, b);
+            const BankAux &a = bankAux[idx];
+            if (a.refreshOpen) {
+                // Demand and preventive work is withheld; the bank's
+                // only event is the auto-PRE of the refresh row.
+                if (model.openRow(rank, b) != kNoRow &&
+                    consider(model.earliestPre(rank, b))) {
+                    return floor;
+                }
+                continue;
+            }
+            std::uint16_t nq = writeMode ? nWrite[idx] : nRead[idx];
+            std::uint16_t nh = writeMode ? nWriteHit[idx] : nReadHit[idx];
+            bool preventivePending = !a.preventive.empty();
+            if (nq == 0 && !preventivePending)
+                continue;
+            if (model.openRow(rank, b) == kNoRow) {
+                // Everything queued wants an ACT (demand row or
+                // preventive victim).
+                if (!held && consider(model.earliestAct(rank, b)))
+                    return floor;
+                continue;
+            }
+            if (nh != 0 &&
+                consider(writeMode ? model.earliestWr(rank, b)
+                                   : model.earliestRd(rank, b))) {
+                return floor;
+            }
+            if ((nq > nh || preventivePending) &&
+                !bankHasOpenRowHit(idx) &&
+                consider(model.earliestPre(rank, b))) {
+                return floor;
+            }
         }
-        if ((horizonSeen[idx] & 4) != 0)
-            return false;
-        horizonSeen[idx] |= 4;
-        if (open == kNoRow) {
-            if (!rankHeld(rank))
-                return consider(model.earliestAct(rank, bank));
-            // Held ranks: the holding scheme's horizon polls densely
-            // while it drains the rank toward a REF.
-            return false;
-        }
-        return consider(model.earliestPre(rank, bank));
-    };
-    for (const Request &r : readQ) {
-        if (considerRequest(r, true))
-            return floor;
-    }
-    for (const Request &r : writeQ) {
-        if (considerRequest(r, false))
-            return floor;
     }
 
     // Completions must reach the LLC at exactly their arrival cycle.
@@ -460,55 +549,12 @@ MemoryController::computeNextEvent(Cycle now) const
             return floor;
     }
 
-    // Per-bank wake list: auto-PRE of refresh-open rows and queued
-    // immediate-PARA victims, each keyed by its timing-state horizon.
-    for (int rank = 0; rank < cfg.geom.ranksPerChannel; ++rank) {
-        for (BankId b = 0;
-             b < static_cast<BankId>(cfg.geom.banksPerRank()); ++b) {
-            const BankAux &a = aux(rank, b);
-            if (a.refreshOpen) {
-                if (model.openRow(rank, b) != kNoRow &&
-                    consider(model.earliestPre(rank, b))) {
-                    return floor;
-                }
-                continue;
-            }
-            if (a.preventive.empty())
-                continue;
-            if (model.openRow(rank, b) != kNoRow) {
-                if (consider(model.earliestPre(rank, b)))
-                    return floor;
-            } else if (!rankHeld(rank)) {
-                if (consider(model.earliestAct(rank, b)))
-                    return floor;
-            }
-        }
-    }
-
     if (consider(refreshScheme->nextEventCycle(now)))
         return floor;
 
     if (wake == kNeverCycle)
         return kNeverCycle;
     return std::max(wake, floor);
-}
-
-bool
-MemoryController::queueHasRowHit(int rank, BankId bank, RowId row) const
-{
-    for (const Request &r : readQ) {
-        if (r.da.rank == rank && r.da.bank == bank && r.da.row == row)
-            return true;
-    }
-    if (writeMode) {
-        for (const Request &r : writeQ) {
-            if (r.da.rank == rank && r.da.bank == bank &&
-                r.da.row == row) {
-                return true;
-            }
-        }
-    }
-    return false;
 }
 
 bool
@@ -539,6 +585,14 @@ MemoryController::issueColumnIfReady(std::deque<Request> &queue,
             ++stats_.writesServed;
         }
         markIssued(now);
+        std::size_t idx = bankIndex(rank, bank);
+        if (is_read) {
+            --nRead[idx];
+            --nReadHit[idx]; // the issued request hit the open row
+        } else {
+            --nWrite[idx];
+            --nWriteHit[idx];
+        }
         queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
         return true;
     }
@@ -573,6 +627,7 @@ MemoryController::tryDemandAct(const Request &req, Cycle now)
             reserveHiraSlots(now);
             markIssued(now);
             ++stats_.hiraOps;
+            recountHits(rank, bank); // bank now open with req's row
             refreshScheme->onHiraIssued(rank, bank, hidden, now);
             onRowActivation(rank, bank, hidden, now);
             onRowActivation(rank, bank, req.da.row, second_at);
@@ -583,6 +638,7 @@ MemoryController::tryDemandAct(const Request &req, Cycle now)
     model.issueAct(rank, bank, req.da.row, now);
     record(CommandType::ACT, now, rank, bank, req.da.row);
     markIssued(now);
+    recountHits(rank, bank);
     onRowActivation(rank, bank, req.da.row, now);
     return true;
 }
@@ -591,14 +647,14 @@ bool
 MemoryController::issueRowCommand(std::deque<Request> &queue, Cycle now)
 {
     // Oldest-first, one attempt per bank.
-    std::vector<bool> seen(bankAux.size(), false);
+    std::fill(bankSeenScratch.begin(), bankSeenScratch.end(), 0);
     for (const Request &req : queue) {
         int rank = req.da.rank;
         BankId bank = req.da.bank;
         std::size_t idx = bankIndex(rank, bank);
-        if (seen[idx])
+        if (bankSeenScratch[idx] != 0)
             continue;
-        seen[idx] = true;
+        bankSeenScratch[idx] = 1;
         if (bankBlocked(rank, bank))
             continue;
         RowId open = model.openRow(rank, bank);
@@ -610,7 +666,7 @@ MemoryController::issueRowCommand(std::deque<Request> &queue, Cycle now)
             continue;
         }
         // Conflict: close the row once its queued hits have drained.
-        if (queueHasRowHit(rank, bank, open))
+        if (bankHasOpenRowHit(idx))
             continue;
         if (model.earliestPre(rank, bank) <= now)
             return tryPre(rank, bank, now);

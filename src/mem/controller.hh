@@ -21,6 +21,7 @@
 #define HIRA_MEM_CONTROLLER_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -98,6 +99,28 @@ class MemoryController
      * earlier (a wasted poll, never a divergence).
      */
     Cycle nextEvent() const;
+
+    /**
+     * Observer of wake-bound lowering: called with the `seen` cycle
+     * whenever enqueue() accepts a request, so an external deadline
+     * index (System's heap, src/sim/deadline_heap.hh) can lower this
+     * controller's key without re-querying nextEvent(). Raising keys
+     * stays the owner's job (after each tick), so the listener only
+     * ever makes the index more conservative.
+     */
+    void setWakeListener(std::function<void(Cycle)> fn)
+    {
+        wakeListener = std::move(fn);
+    }
+
+    /**
+     * Account @p n enqueue rejections in bulk. The event engine calls
+     * this when it skips cycles during which the dense loop would have
+     * re-offered (and re-rejected) the LLC's outbound head once per
+     * cycle — the only per-cycle observable of those retries is this
+     * counter, so bulk accrual keeps SystemResult bitwise identical.
+     */
+    void accrueRejected(std::uint64_t n) { stats_.rejectedRequests += n; }
 
     /** Completions accumulated since the last drain. */
     std::vector<Completion> &completions() { return completions_; }
@@ -192,8 +215,24 @@ class MemoryController
     bool issueColumnIfReady(std::deque<Request> &queue, bool is_read,
                             Cycle now);
     bool issueRowCommand(std::deque<Request> &queue, Cycle now);
-    bool queueHasRowHit(int rank, BankId bank, RowId row) const;
     bool tryDemandAct(const Request &req, Cycle now);
+
+    /** Rebuild the bank's open-row-hit counts from the queues. */
+    void recountHits(int rank, BankId bank);
+
+    /**
+     * True if the bank's open row has a queued hit the scheduler still
+     * honors: readQ hits always, writeQ hits only in write-drain mode
+     * (mirroring which queues FR-FCFS serves). Gates conflict PREs in
+     * issueRowCommand and preventive closes in preventiveTick, and the
+     * wake scan replays exactly this predicate so the event engine
+     * defers the same PREs dense would.
+     */
+    bool bankHasOpenRowHit(std::size_t idx) const
+    {
+        return nReadHit[idx] != 0 ||
+               (writeMode && nWriteHit[idx] != 0);
+    }
 
     int channel;
     ControllerConfig cfg;
@@ -217,8 +256,17 @@ class MemoryController
     // query (the cycle engine never queries it and pays nothing).
     mutable Cycle nextWake = 0;
     mutable bool nextWakeValid = false;
-    // computeNextEvent() scratch: per-bank (class) dedup bits.
-    mutable std::vector<std::uint8_t> horizonSeen;
+    std::function<void(Cycle)> wakeListener;
+    // Per-bank queued-request index, flat bankIndex() order: how many
+    // reads / writes target each bank, and how many of those hit the
+    // bank's currently open row. Maintained incrementally — enqueue and
+    // column issue adjust the target bank O(1), row transitions recount
+    // one bank (recountHits / tryPre) — so the wake scan and the
+    // scheduler's row-hit gates run over banks, not queue entries.
+    std::vector<std::uint16_t> nRead, nWrite, nReadHit, nWriteHit;
+    // issueRowCommand() scratch: per-bank attempted marks (one row-
+    // command attempt per bank per call, oldest request wins).
+    std::vector<std::uint8_t> bankSeenScratch;
 
     ControllerStats stats_;
     CommandTraceRecorder recorder;

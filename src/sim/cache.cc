@@ -57,6 +57,7 @@ Llc::tick(Cycle)
         if (!send(outbound.front()))
             return;
         outbound.pop_front();
+        ++capGen; // an outbound slot freed; Blocked verdicts may change
     }
 }
 
@@ -157,6 +158,9 @@ Llc::onMemCompletion(std::uint64_t mem_tag, Cycle mem_now)
     mshrs.erase(it);
     mshrByLine.erase(m.lineAddr);
     install(m.lineAddr, m.writeIntent, mem_now);
+    // An MSHR freed and a line installed: an access that was Blocked
+    // (or missing) before can now succeed, so bump the generation.
+    ++capGen;
     for (const Waiter &w : m.waiters)
         notify(w.coreId, w.tag, mem_now);
 }

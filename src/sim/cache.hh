@@ -68,18 +68,37 @@ class Llc
     /** True while the outbound miss/writeback queue holds requests. */
     bool outboundPending() const { return !outbound.empty(); }
 
+    /** Head of the outbound queue (outboundPending() must hold). */
+    const Request &outboundHead() const { return outbound.front(); }
+
     /**
-     * Event-engine horizon: while the outbound queue is non-empty the
-     * LLC must be pumped every cycle (each failed retry counts a
-     * controller-side rejection, which the dense loop accrues per
-     * cycle); otherwise tick() is a no-op and the LLC sleeps until a
-     * core access or a memory completion touches it.
+     * Event-engine horizon. The outbound queue only ever becomes (and
+     * stays) non-empty after a failed send to a full controller queue,
+     * and that rejection cannot lift until the rejecting controller
+     * ticks — a cycle the controller's own nextEvent() already pins, at
+     * which the loop re-pumps the queue (System::executeCycle pumps
+     * whenever outboundPending()). So the LLC never has to pin a wake
+     * of its own: tick() between controller events is observable only
+     * through the per-cycle rejection the dense loop accrues on the
+     * head's target controller, which the event engine adds back in
+     * closed form when it skips (MemoryController::accrueRejected).
      */
     Cycle
     nextEventCycle(Cycle now) const
     {
-        return outbound.empty() ? kNeverCycle : now + 1;
+        (void)now;
+        return kNeverCycle;
     }
+
+    /**
+     * Monotone counter of LLC transitions after which a previously
+     * Blocked access() could stop being Blocked: an MSHR freed, a line
+     * installed, or an outbound slot drained. A core whose dispatch was
+     * Blocked may skip re-issuing the access until this changes
+     * (CoreModel::dispatchOne) — the retry is provably Blocked again,
+     * in either engine, while the counter stands still.
+     */
+    std::uint64_t capacityGeneration() const { return capGen; }
 
     // Stats.
     std::uint64_t hits = 0;
@@ -126,6 +145,7 @@ class Llc
     std::unordered_map<Addr, std::uint64_t> mshrByLine;
     std::uint64_t nextMemTag = 1;
     std::deque<Request> outbound;
+    std::uint64_t capGen = 1; //!< see capacityGeneration()
 };
 
 } // namespace hira

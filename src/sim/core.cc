@@ -36,6 +36,7 @@ CoreModel::dispatchOne(Cycle mem_now)
     if (!hasPendingInst) {
         pendingInst = gen.next();
         hasPendingInst = true;
+        blockedCached = false;
     }
     Slot &s = window[tail];
     s.valid = true;
@@ -45,11 +46,17 @@ CoreModel::dispatchOne(Cycle mem_now)
         s.done = true;
         s.readyAt = cpuCycle;
     } else {
+        if (blockedCached && blockedGen == llc.capacityGeneration())
+            return false; // retry is provably Blocked; skip the probe
         std::uint64_t tag = nextTag++;
         LlcResult res = llc.access(pendingInst.isWrite, pendingInst.addr,
                                    id, tag, mem_now);
-        if (res == LlcResult::Blocked)
+        if (res == LlcResult::Blocked) {
+            blockedCached = true;
+            blockedGen = llc.capacityGeneration();
             return false; // keep the instruction pending, stall
+        }
+        blockedCached = false;
         if (pendingInst.isWrite) {
             ++stores;
             // Stores are posted (store buffer): retire immediately.

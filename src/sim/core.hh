@@ -146,6 +146,14 @@ class CoreModel
     std::uint64_t nextTag = 1;
     bool hasPendingInst = false;
     TraceInst pendingInst;
+    // Blocked-dispatch memo: the pending memory instruction was Blocked
+    // by the LLC at capacityGeneration() == blockedGen. Until that
+    // counter moves, re-probing llc.access() provably returns Blocked
+    // again (capacity only shrinks between generation bumps), so
+    // dispatchOne() skips the probe. Pure per-core state driven by
+    // deterministic LLC events: identical in both engines.
+    bool blockedCached = false;
+    std::uint64_t blockedGen = 0;
 
     // Event-engine bookkeeping: outstanding memory waits, and a
     // monotone upper bound on every readyAt ever assigned (conservative

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Indexed min-heap of component wake-up deadlines for the event-driven
+ * simulation kernel (src/sim/system.cc).
+ *
+ * Each simulated component (one slot per memory controller, one for the
+ * LLC) owns a stable slot whose key is the component's nextEventCycle()
+ * bound. The kernel reads the global minimum in O(1) instead of
+ * re-querying every component per iteration, and re-keys exactly the
+ * components that ticked (update) or accepted new work (lower), each in
+ * O(log n).
+ *
+ * Update contract (documented in BUILDING.md "The event-driven
+ * simulation kernel"):
+ *  - The kernel raises or lowers a slot with update() right after
+ *    ticking its component, using the freshly recomputed nextEvent().
+ *  - Components themselves only ever *lower* their slot (through
+ *    MemoryController::setWakeListener on accepted enqueues), making the
+ *    index more conservative between ticks. Raising stays the kernel's
+ *    job: a raise is only sound immediately after the owner recomputed
+ *    its bound.
+ *  - Keys may go stale low (a wasted poll), never stale high (which
+ *    would skip an observable event and diverge from the dense loop).
+ *
+ * All slots are permanently resident: kNeverCycle parks an idle
+ * component at the bottom without removing it, so size never changes
+ * and no free-list is needed.
+ */
+
+#ifndef HIRA_SIM_DEADLINE_HEAP_HH
+#define HIRA_SIM_DEADLINE_HEAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hira {
+
+/** Fixed-slot indexed binary min-heap keyed by wake-up cycle. */
+class DeadlineHeap
+{
+  public:
+    /** @p nslots components, all parked at kNeverCycle. */
+    explicit DeadlineHeap(std::size_t nslots)
+        : keys(nslots, kNeverCycle), heap(nslots), pos(nslots)
+    {
+        for (std::size_t i = 0; i < nslots; ++i) {
+            heap[i] = static_cast<std::uint32_t>(i);
+            pos[i] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    std::size_t size() const { return keys.size(); }
+
+    /** Current key of @p slot. */
+    Cycle key(std::size_t slot) const { return keys[slot]; }
+
+    /** Smallest key over all slots (kNeverCycle when all are parked). */
+    Cycle min() const { return keys.empty() ? kNeverCycle : keys[heap[0]]; }
+
+    /** Slot holding the minimum key (undefined when empty). */
+    std::size_t minSlot() const { return heap[0]; }
+
+    /** Re-key @p slot to @p k, raising or lowering as needed. */
+    void update(std::size_t slot, Cycle k)
+    {
+        Cycle old = keys[slot];
+        if (k == old)
+            return;
+        keys[slot] = k;
+        if (k < old)
+            siftUp(pos[slot]);
+        else
+            siftDown(pos[slot]);
+    }
+
+    /** Lower @p slot to @p k; keys only ever move toward the root. */
+    void lower(std::size_t slot, Cycle k)
+    {
+        if (k >= keys[slot])
+            return;
+        keys[slot] = k;
+        siftUp(pos[slot]);
+    }
+
+  private:
+    void place(std::size_t at, std::uint32_t slot)
+    {
+        heap[at] = slot;
+        pos[slot] = static_cast<std::uint32_t>(at);
+    }
+
+    void siftUp(std::size_t i)
+    {
+        std::uint32_t slot = heap[i];
+        Cycle k = keys[slot];
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (keys[heap[parent]] <= k)
+                break;
+            place(i, heap[parent]);
+            i = parent;
+        }
+        place(i, slot);
+    }
+
+    void siftDown(std::size_t i)
+    {
+        std::uint32_t slot = heap[i];
+        Cycle k = keys[slot];
+        const std::size_t n = heap.size();
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && keys[heap[child + 1]] < keys[heap[child]])
+                ++child;
+            if (keys[heap[child]] >= k)
+                break;
+            place(i, heap[child]);
+            i = child;
+        }
+        place(i, slot);
+    }
+
+    std::vector<Cycle> keys;          //!< by slot
+    std::vector<std::uint32_t> heap;  //!< heap order -> slot
+    std::vector<std::uint32_t> pos;   //!< slot -> heap order
+};
+
+} // namespace hira
+
+#endif // HIRA_SIM_DEADLINE_HEAP_HH

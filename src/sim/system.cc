@@ -100,6 +100,24 @@ System::System(const SystemConfig &config)
             static_cast<int>(i), *sources.back(), *llc, cfg.coreWidth,
             cfg.windowEntries, cfg.traceDumpDir.empty()));
     }
+
+    // Deadline index: controller slots by channel id, LLC slot last.
+    // Keys seed from the components' initial bounds (a fresh Baseline
+    // controller already owes its first REF a horizon). The enqueue
+    // listeners are event-engine plumbing; the dense loop never reads
+    // the heap, so it skips the per-enqueue std::function call.
+    llcSlot = controllers.size();
+    wakeHeap = DeadlineHeap(controllers.size() + 1);
+    for (std::size_t ch = 0; ch < controllers.size(); ++ch)
+        wakeHeap.update(ch, controllers[ch]->nextEvent());
+    wakeHeap.update(llcSlot, llc->nextEventCycle(0));
+    if (cfg.engine == SimEngine::EventLoop) {
+        for (std::size_t ch = 0; ch < controllers.size(); ++ch) {
+            controllers[ch]->setWakeListener([this, ch](Cycle seen) {
+                wakeHeap.lower(ch, seen);
+            });
+        }
+    }
 }
 
 bool
@@ -145,18 +163,33 @@ System::drainCompletions(MemoryController &ctrl)
 void
 System::executeCycle(bool all_controllers)
 {
-    for (auto &ctrl : controllers) {
+    // Controllers tick in channel order (matching the dense loop), not
+    // heap-pop order: cross-channel writebacks drained from channel i
+    // may enqueue into channel j and lower j's key mid-sweep, and a
+    // popped ordering would have to re-examine already-popped slots.
+    // The heap's job is the O(1) global minimum for the skip decision
+    // in firstActionableCycle(); per-cycle membership stays a key
+    // comparison per slot.
+    for (std::size_t ch = 0; ch < controllers.size(); ++ch) {
         // Skipping a controller whose wake-up lies ahead is exact: its
         // tick would be a no-op and none of its completions are due
         // (nextEvent() lower-bounds both).
-        if (all_controllers || ctrl->nextEvent() <= memCycle) {
-            ctrl->tick(memCycle);
+        if (all_controllers) {
+            controllers[ch]->tick(memCycle);
             ++loopStats_.ctrlTicks;
-            drainCompletions(*ctrl);
+            drainCompletions(*controllers[ch]);
+        } else if (wakeHeap.key(ch) <= memCycle) {
+            controllers[ch]->tick(memCycle);
+            ++loopStats_.ctrlTicks;
+            drainCompletions(*controllers[ch]);
+            tickedScratch.push_back(static_cast<std::uint32_t>(ch));
         }
     }
-    if (llc->outboundPending())
+    if (llc->outboundPending()) {
         llc->tick(memCycle);
+        if (!all_controllers)
+            wakeHeap.update(llcSlot, llc->nextEventCycle(memCycle));
+    }
 
     // 3.2 GHz cores over a 1.2 GHz bus: 8 CPU ticks per 3 bus ticks.
     cpuAccum += 8;
@@ -165,6 +198,19 @@ System::executeCycle(bool all_controllers)
         for (auto &core : cores)
             core->tick(memCycle);
     }
+
+    // Re-key the ticked controllers only now, after the LLC pump and
+    // the core ticks delivered this cycle's enqueues: tick()
+    // invalidated each one's cached bound, so this nextEvent() is the
+    // lazy recompute over the full post-cycle state — a tight horizon
+    // that may *raise* the key past the conservative arrival+1 their
+    // wake listeners set mid-cycle. Querying right after tick() instead
+    // would freeze that conservative bound in (the recompute would run
+    // before the arrivals, and lowerWake can only clamp), degrading
+    // every busy controller to next-cycle polling.
+    for (std::uint32_t ch : tickedScratch)
+        wakeHeap.update(ch, controllers[ch]->nextEvent());
+    tickedScratch.clear();
 }
 
 void
@@ -201,14 +247,12 @@ System::firstActionableCycle() const
             return memCycle + 1;
         wake = memCycle + m + 1;
     }
-    Cycle lw = llc->nextEventCycle(memCycle);
-    if (lw < wake)
-        wake = lw;
-    for (const auto &ctrl : controllers) {
-        Cycle w = ctrl->nextEvent();
-        if (w < wake)
-            wake = w;
-    }
+    // Memory side: one O(1) heap-min read covers every controller and
+    // the LLC — executeCycle keeps the keys current after each tick,
+    // and enqueue listeners lower them in between.
+    Cycle w = wakeHeap.min();
+    if (w < wake)
+        wake = w;
     return std::max(wake, memCycle + 1);
 }
 
@@ -224,6 +268,20 @@ System::runEvent(Cycle cycles)
             // ticks in bulk and jump straight to the horizon.
             Cycle last_skipped = std::min(first - 1, end);
             Cycle m = last_skipped - memCycle;
+            if (llc->outboundPending()) {
+                // Whenever the outbound queue is non-empty its head's
+                // last send just failed (Llc::tick stops at the first
+                // failure, and executeCycle pumped it this cycle), and
+                // the rejecting controller cannot drain without a tick
+                // — which no skipped cycle performs. The dense loop
+                // would therefore re-offer and re-reject the head
+                // exactly once per skipped cycle; accrue those m
+                // rejections in closed form on the head's channel.
+                const Request &head = llc->outboundHead();
+                int ch = mapper.decode(head.addr).channel;
+                controllers[static_cast<std::size_t>(ch)]
+                    ->accrueRejected(m);
+            }
             std::uint64_t ticks = (cpuAccum + 8 * m) / 3;
             cpuAccum = (cpuAccum + 8 * m) % 3;
             for (auto &core : cores)

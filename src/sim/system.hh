@@ -23,6 +23,7 @@
 #include "dram/addrmap.hh"
 #include "mem/controller.hh"
 #include "sim/core.hh"
+#include "sim/deadline_heap.hh"
 #include "sim/workloads.hh"
 #include "workload/file_trace.hh"
 
@@ -135,6 +136,14 @@ class System
     SimEngine engine() const { return cfg.engine; }
     const SimLoopStats &loopStats() const { return loopStats_; }
 
+    // Deadline-index inspection (tests/sim/test_deadline_heap_property
+    // pins the quiescent invariant key(ch) == controller(ch).nextEvent()
+    // after arbitrary run() sequences). Slot layout: one per channel,
+    // then the LLC.
+    std::size_t wakeSlots() const { return wakeHeap.size(); }
+    Cycle wakeKey(std::size_t slot) const { return wakeHeap.key(slot); }
+    Cycle wakeMin() const { return wakeHeap.min(); }
+
   private:
     std::unique_ptr<RefreshScheme> makeScheme() const;
     bool route(const Request &req);
@@ -150,6 +159,17 @@ class System
     std::unique_ptr<Llc> llc;
     std::vector<std::unique_ptr<TraceSource>> sources;
     std::vector<std::unique_ptr<CoreModel>> cores;
+
+    // Deadline index for the event kernel: slot ch per controller, one
+    // trailing slot for the LLC. Keys are raised by executeCycle()
+    // right after each component ticks and lowered by the controllers'
+    // wake listeners on accepted enqueues (see deadline_heap.hh for the
+    // full contract). The cycle engine leaves it untouched.
+    DeadlineHeap wakeHeap{0};
+    std::size_t llcSlot = 0;
+    // Channels ticked this executed cycle, re-keyed at cycle end once
+    // all of the cycle's enqueues have landed (see executeCycle).
+    std::vector<std::uint32_t> tickedScratch;
 
     Cycle memCycle = 0;
     std::uint64_t cpuAccum = 0; //!< 8/3 clock-ratio accumulator

@@ -136,6 +136,72 @@ TEST(Controller, ReadForwardsFromWriteQueue)
     EXPECT_EQ(ctrl.stats().forwards, 1u);
 }
 
+TEST(Controller, ForwardCountsAsServedRead)
+{
+    // A write-queue forward IS a served read: it must feed readsServed
+    // and readLatencySum (at the fixed 4-cycle forward latency) exactly
+    // like a DRAM-serviced read, with `forwards` as the sub-count.
+    // Keeping the forward out of those stats would skew
+    // avgReadLatencyCycles between workloads with different
+    // read-after-write locality.
+    auto cc = makeConfig();
+    MemoryController ctrl(0, cc, std::make_unique<NoRefresh>());
+    Request w = writeReq(cc.geom, 0, 0, 5, 0, 1);
+    ASSERT_TRUE(ctrl.enqueue(w));
+    Request r = readReq(cc.geom, 0, 0, 5, 0, 2);
+    r.addr = w.addr;
+    r.arrival = 3;
+    ASSERT_TRUE(ctrl.enqueue(r));
+
+    ASSERT_EQ(ctrl.completions().size(), 1u);
+    EXPECT_EQ(ctrl.completions()[0].tag, 2u);
+    EXPECT_EQ(ctrl.completions()[0].at, 7u); // arrival + 4
+    EXPECT_EQ(ctrl.stats().forwards, 1u);
+    EXPECT_EQ(ctrl.stats().readsServed, 1u);
+    EXPECT_EQ(ctrl.stats().readLatencySum, 4u);
+    // The write stays queued: nothing was issued to DRAM.
+    EXPECT_EQ(ctrl.stats().writesServed, 0u);
+    EXPECT_EQ(ctrl.queuedWrites(), 1u);
+}
+
+TEST(Controller, PreventiveVictimSurvivesDeclinedRefreshAct)
+{
+    // Regression: preventiveTick must pop a PARA victim only after its
+    // refresh ACT actually issued. The issue path used to pop first and
+    // assert tryRefreshAct succeeded, relying on pre-checks that
+    // duplicated tryRefreshAct's own guards; any drift (e.g. a rank
+    // hold placed between probe and issue) would silently drop the
+    // victim — a missed preventive refresh. Force the decline path with
+    // a rank hold and pin that the victim survives.
+    auto cc = makeConfig();
+    cc.para.enabled = true;
+    cc.para.pth = 1.0; // every ACT samples a victim deterministically
+    MemoryController ctrl(0, cc, std::make_unique<NoRefresh>());
+    ASSERT_TRUE(ctrl.enqueue(readReq(cc.geom, 0, 0, 5, 0, 1)));
+
+    Cycle now = 0;
+    while (ctrl.pendingPreventive(0, 0) == 0 && now < 1000)
+        ctrl.tick(++now);
+    ASSERT_EQ(ctrl.pendingPreventive(0, 0), 1u);
+
+    // Hold the rank: every preventive ACT attempt must decline without
+    // consuming the queued victim.
+    ctrl.setRankHold(0, true);
+    std::uint64_t actsBefore = ctrl.stats().acts;
+    for (int i = 0; i < 500; ++i)
+        ctrl.tick(++now);
+    EXPECT_EQ(ctrl.pendingPreventive(0, 0), 1u);
+    EXPECT_EQ(ctrl.stats().acts, actsBefore);
+
+    // Released, the retained victim refreshes (pth = 1 immediately
+    // samples a successor, so the queue never empties — the issued ACT
+    // is the evidence).
+    ctrl.setRankHold(0, false);
+    for (int i = 0; i < 500 && ctrl.stats().acts == actsBefore; ++i)
+        ctrl.tick(++now);
+    EXPECT_GT(ctrl.stats().acts, actsBefore);
+}
+
 TEST(Controller, ReadQueueBackpressure)
 {
     auto cc = makeConfig();

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Property suite for the event kernel's deadline index
+ * (src/sim/deadline_heap.hh).
+ *
+ * Two layers. The heap itself is checked against a brute-force
+ * shadow array under long randomized update/lower sequences: the
+ * reported minimum, per-slot keys, and min-slot consistency must match
+ * at every step. Then the System integration is checked at quiescence:
+ * after arbitrary run() quanta, every controller slot must equal that
+ * controller's own nextEvent() bound exactly — not just conservatively
+ * — across refresh schemes and geometries (including 2ch2rk, where
+ * cross-channel writebacks exercise the mid-sweep listener lowering).
+ * A key stuck low would only waste polls, but this equality is what
+ * makes the O(1) heap-min read in firstActionableCycle() equivalent to
+ * the dense per-controller nextEvent() scan it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "sim/deadline_heap.hh"
+#include "sim/experiment.hh"
+
+using namespace hira;
+
+namespace {
+
+Cycle
+bruteMin(const std::vector<Cycle> &ref)
+{
+    Cycle m = kNeverCycle;
+    for (Cycle k : ref)
+        m = std::min(m, k);
+    return m;
+}
+
+} // namespace
+
+TEST(DeadlineHeap, StartsParkedAtNever)
+{
+    DeadlineHeap h(5);
+    EXPECT_EQ(h.size(), 5u);
+    EXPECT_EQ(h.min(), kNeverCycle);
+    for (std::size_t s = 0; s < 5; ++s)
+        EXPECT_EQ(h.key(s), kNeverCycle);
+}
+
+TEST(DeadlineHeap, UpdateRaisesAndLowers)
+{
+    DeadlineHeap h(3);
+    h.update(0, 100);
+    h.update(1, 50);
+    h.update(2, 75);
+    EXPECT_EQ(h.min(), 50u);
+    EXPECT_EQ(h.minSlot(), 1u);
+
+    h.update(1, 200); // raise the minimum away
+    EXPECT_EQ(h.min(), 75u);
+    EXPECT_EQ(h.minSlot(), 2u);
+
+    h.update(0, 10); // lower via update
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.minSlot(), 0u);
+}
+
+TEST(DeadlineHeap, LowerNeverRaises)
+{
+    DeadlineHeap h(2);
+    h.update(0, 40);
+    h.lower(0, 90); // no-op: lower() only moves keys toward the root
+    EXPECT_EQ(h.key(0), 40u);
+    h.lower(0, 15);
+    EXPECT_EQ(h.key(0), 15u);
+    EXPECT_EQ(h.min(), 15u);
+}
+
+TEST(DeadlineHeap, SingleSlot)
+{
+    DeadlineHeap h(1);
+    h.update(0, 7);
+    EXPECT_EQ(h.min(), 7u);
+    h.update(0, kNeverCycle);
+    EXPECT_EQ(h.min(), kNeverCycle);
+}
+
+TEST(DeadlineHeapProperty, RandomizedOpsTrackShadowArray)
+{
+    // Several sizes, including non-power-of-two and the 2–3 slots real
+    // Systems use. Duplicate keys are common on purpose (range 0..31):
+    // ties stress the sift loops' <= / < choices.
+    for (std::size_t n : {1u, 2u, 3u, 8u, 17u}) {
+        SCOPED_TRACE(n);
+        DeadlineHeap h(n);
+        std::vector<Cycle> ref(n, kNeverCycle);
+        std::mt19937 rng(0xd00d + static_cast<unsigned>(n));
+        for (int step = 0; step < 20000; ++step) {
+            std::size_t slot = rng() % n;
+            Cycle k = (rng() % 8 == 0) ? kNeverCycle : rng() % 32;
+            if (rng() % 2 == 0) {
+                h.update(slot, k);
+                ref[slot] = k;
+            } else {
+                h.lower(slot, k);
+                ref[slot] = std::min(ref[slot], k);
+            }
+            ASSERT_EQ(h.key(slot), ref[slot]);
+            ASSERT_EQ(h.min(), bruteMin(ref));
+            // minSlot must actually hold the minimum key (ties may
+            // resolve to any tied slot).
+            ASSERT_EQ(h.key(h.minSlot()), h.min());
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Run the event engine in randomized quanta and, at every quiescent
+ * point, compare each controller's heap key against its nextEvent()
+ * bound and the heap minimum against the brute-force minimum over
+ * components — the exact scan firstActionableCycle() used to perform.
+ */
+void
+runSystemProperty(const SchemeSpec &scheme, const GeomSpec &geom,
+                  std::uint64_t seed)
+{
+    WorkloadMix mix = {"mcf-like", "h264-like", "lbm-like", "namd-like"};
+    SystemConfig cfg = makeSystemConfig(geom, scheme, mix, seed);
+    cfg.engine = SimEngine::EventLoop;
+    System sys(cfg);
+
+    ASSERT_EQ(sys.wakeSlots(),
+              static_cast<std::size_t>(sys.channels()) + 1);
+    std::mt19937 rng(static_cast<unsigned>(seed));
+    for (int step = 0; step < 150; ++step) {
+        sys.run(1 + rng() % 97);
+        Cycle brute = kNeverCycle;
+        for (int ch = 0; ch < sys.channels(); ++ch) {
+            Cycle bound = sys.controller(ch).nextEvent();
+            ASSERT_EQ(sys.wakeKey(static_cast<std::size_t>(ch)), bound)
+                << "channel " << ch << " at cycle " << sys.now();
+            brute = std::min(brute, bound);
+        }
+        // The LLC slot stays parked: outbound backpressure never pins
+        // the kernel (see Llc::nextEventCycle's closed-form contract).
+        ASSERT_EQ(sys.wakeKey(sys.wakeSlots() - 1), kNeverCycle);
+        ASSERT_EQ(sys.wakeMin(), brute);
+    }
+}
+
+} // namespace
+
+TEST(DeadlineHeapProperty, SystemKeysMatchComponentBounds)
+{
+    SchemeSpec base;
+    base.kind = SchemeKind::Baseline;
+    runSystemProperty(base, GeomSpec{}, 11);
+
+    SchemeSpec none;
+    none.kind = SchemeKind::NoRefresh;
+    runSystemProperty(none, GeomSpec{}, 12);
+
+    SchemeSpec para = base;
+    para.paraEnabled = true;
+    para.nrh = 256.0;
+    runSystemProperty(para, GeomSpec{}, 13);
+
+    SchemeSpec hira;
+    hira.kind = SchemeKind::HiraMc;
+    hira.slackN = 2;
+    runSystemProperty(hira, GeomSpec{}, 14);
+}
+
+TEST(DeadlineHeapProperty, SystemKeysMatchOn2ch2rk)
+{
+    GeomSpec wide;
+    wide.channels = 2;
+    wide.ranks = 2;
+    SchemeSpec base;
+    base.kind = SchemeKind::Baseline;
+    runSystemProperty(base, wide, 21);
+
+    SchemeSpec hira;
+    hira.kind = SchemeKind::HiraMc;
+    hira.slackN = 2;
+    runSystemProperty(hira, wide, 22);
+}
