@@ -27,6 +27,8 @@
 
 #include "common/knobs.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace_events.hh"
 #include "sim/experiment.hh"
 #include "workload/corpus.hh"
 
@@ -57,6 +59,14 @@ struct TimingRow
     std::uint64_t simulatedCycles = 0;
 };
 
+/** One sweep point's stats record (see recordPointStats). */
+struct PointRow
+{
+    std::string label;
+    RefreshStats refresh;
+    MetricsSnapshot metrics; //!< empty unless HIRA_METRICS is on
+};
+
 /** Capture state for the optional BENCH_<driver>.json artifact. */
 struct JsonCapture
 {
@@ -68,6 +78,7 @@ struct JsonCapture
     std::vector<JsonSection> sections;
     std::vector<std::string> notes;
     std::vector<TimingRow> timing;
+    std::vector<PointRow> points;
     bool written = false;
 };
 
@@ -144,6 +155,8 @@ writeJson()
                  jsonEscape(cap.paperRef).c_str());
     std::fprintf(f, "  \"engine\": \"%s\",\n",
                  simEngineName(defaultSimEngine()));
+    std::fprintf(f, "  \"metrics_level\": \"%s\",\n",
+                 metricsLevelName(defaultMetricsLevel()));
     if (cap.haveKnobs) {
         std::fprintf(f,
                      "  \"knobs\": {\"mixes\": %d, \"cycles\": %lld, "
@@ -192,6 +205,72 @@ writeJson()
                                       total_sec
                                 : 0.0)
                      .c_str());
+    // Per-sweep-point simulator stats: the PR 4/6 fidelity counters
+    // (RefreshStats, including preventive_dropped) always, plus the
+    // HIRA_METRICS registry snapshot when one was captured. The CI
+    // bitwise metrics-on/off check compares "sections" only — these
+    // records are allowed (and expected) to differ with the knob.
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < cap.points.size(); ++i) {
+        const PointRow &p = cap.points[i];
+        const RefreshStats &rs = p.refresh;
+        std::fprintf(
+            f,
+            "    {\"label\": \"%s\", \"refresh\": {"
+            "\"ref_commands\": %llu, \"row_refreshes\": %llu, "
+            "\"access_paired\": %llu, \"refresh_paired\": %llu, "
+            "\"standalone\": %llu, \"deadline_misses\": %llu, "
+            "\"preventive_generated\": %llu, "
+            "\"preventive_dropped\": %llu}",
+            jsonEscape(p.label).c_str(),
+            static_cast<unsigned long long>(rs.refCommands),
+            static_cast<unsigned long long>(rs.rowRefreshes),
+            static_cast<unsigned long long>(rs.accessPaired),
+            static_cast<unsigned long long>(rs.refreshPaired),
+            static_cast<unsigned long long>(rs.standalone),
+            static_cast<unsigned long long>(rs.deadlineMisses),
+            static_cast<unsigned long long>(rs.preventiveGenerated),
+            static_cast<unsigned long long>(rs.preventiveDropped));
+        if (!p.metrics.empty()) {
+            std::fprintf(f, ",\n     \"metrics\": {");
+            bool first = true;
+            for (const auto &kv : p.metrics.values) {
+                const MetricValue &v = kv.second;
+                std::fprintf(f, "%s\n      \"%s\": ", first ? "" : ",",
+                             jsonEscape(kv.first).c_str());
+                first = false;
+                switch (v.kind) {
+                  case MetricValue::Kind::Counter:
+                    std::fprintf(
+                        f, "%llu",
+                        static_cast<unsigned long long>(v.count));
+                    break;
+                  case MetricValue::Kind::Gauge:
+                    std::fprintf(f, "%s", jsonNumber(v.value).c_str());
+                    break;
+                  case MetricValue::Kind::Histogram:
+                    std::fprintf(
+                        f,
+                        "{\"count\": %llu, \"sum\": %s, \"lo\": %s, "
+                        "\"hi\": %s, \"bins\": [",
+                        static_cast<unsigned long long>(v.count),
+                        jsonNumber(v.value).c_str(),
+                        jsonNumber(v.lo).c_str(),
+                        jsonNumber(v.hi).c_str());
+                    for (std::size_t b = 0; b < v.bins.size(); ++b) {
+                        std::fprintf(
+                            f, "%s%llu", b > 0 ? ", " : "",
+                            static_cast<unsigned long long>(v.bins[b]));
+                    }
+                    std::fprintf(f, "]}");
+                    break;
+                }
+            }
+            std::fprintf(f, "\n     }");
+        }
+        std::fprintf(f, "}%s\n", i + 1 < cap.points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"sections\": [\n");
     for (std::size_t s = 0; s < cap.sections.size(); ++s) {
         const JsonSection &sec = cap.sections[s];
@@ -305,6 +384,24 @@ recordPointTiming(const std::string &label, double sim_seconds,
 }
 
 /**
+ * Record one sweep point's stats for the HIRA_JSON artifact's "points"
+ * block: the mix-summed RefreshStats always (so preventive drops and
+ * deadline misses reach artifacts even with metrics off) and the
+ * point's merged metrics snapshot when HIRA_METRICS captured one.
+ * SweepGrid::run() records every plan point automatically.
+ */
+inline void
+recordPointStats(const std::string &label, const RefreshStats &refresh,
+                 const MetricsSnapshot &metrics)
+{
+    detail::PointRow p;
+    p.label = label;
+    p.refresh = refresh;
+    p.metrics = metrics;
+    detail::capture().points.push_back(std::move(p));
+}
+
+/**
  * Periodic-refresh scheme from its display label ("Baseline" or
  * "HiRA-<N>"), as swept by the fig13/fig14 geometry drivers.
  */
@@ -412,10 +509,13 @@ class SweepGrid
     {
         results_ = runner.runPoints(points_);
         for (std::size_t i = 0; i < results_.size(); ++i) {
-            recordPointTiming(
+            std::string label =
                 strprintf("%s @ %s", points_[i].scheme.label().c_str(),
-                          points_[i].geom.key().c_str()),
-                results_[i].wallSeconds, results_[i].simCycles);
+                          points_[i].geom.key().c_str());
+            recordPointTiming(label, results_[i].wallSeconds,
+                              results_[i].simCycles);
+            recordPointStats(label, results_[i].refresh,
+                             results_[i].metrics);
         }
     }
 
@@ -441,6 +541,9 @@ footer()
     std::printf("==========================================================="
                 "=====================\n\n");
     detail::writeJson();
+    // Write the HIRA_TRACE_EVENTS file (if any) while the driver is
+    // still alive; the at-exit flush is only a fallback.
+    TraceEventLog::global().flush();
 }
 
 } // namespace benchutil

@@ -1,8 +1,8 @@
 #include "common/logging.hh"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace hira {
@@ -10,6 +10,36 @@ namespace hira {
 namespace {
 
 std::atomic<bool> g_quiet{false};
+
+/**
+ * Serializes the default sink's stderr writes so messages from
+ * concurrent WorkerPool workers come out whole-line. Also guards the
+ * installed-sink pointer swap.
+ */
+std::mutex g_log_mutex;
+
+LogSink g_sink; // empty -> default stderr sink
+
+void
+stderrSink(LogLevel level, const std::string &msg)
+{
+    const char *tag = level == LogLevel::Warn ? "warn" : "info";
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+void
+dispatch(LogLevel level, const std::string &msg)
+{
+    // One critical section covers both reading the installed sink and
+    // the default sink's fprintf: a single fprintf is atomic on glibc
+    // but not guaranteed elsewhere, and holding the lock keeps
+    // warn/inform lines from interleaving no matter the platform.
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    if (g_sink)
+        g_sink(level, msg);
+    else
+        stderrSink(level, msg);
+}
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -28,6 +58,13 @@ vformat(const char *fmt, va_list ap)
 }
 
 } // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    g_sink = std::move(sink);
+}
 
 void
 setQuiet(bool q)
@@ -82,7 +119,24 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    dispatch(LogLevel::Warn, msg);
+}
+
+void
+warnOnceImpl(std::atomic<bool> &fired, const char *fmt, ...)
+{
+    // exchange() makes exactly one caller per site the emitter, even
+    // under races. Quiet mode still consumes the once-flag so a later
+    // un-quieted repeat doesn't resurrect the message.
+    if (fired.exchange(true))
+        return;
+    if (quiet())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    dispatch(LogLevel::Warn, msg);
 }
 
 void
@@ -94,7 +148,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    dispatch(LogLevel::Info, msg);
 }
 
 } // namespace hira

@@ -5,15 +5,46 @@
  * panic(): an internal invariant was violated (library bug) — aborts.
  * fatal(): the user asked for something impossible (bad config) — exits.
  * warn()/inform(): non-fatal status messages for the user.
+ *
+ * warn()/inform() route through a pluggable LogSink (default: stderr
+ * behind a process-wide mutex, so concurrent WorkerPool workers never
+ * tear each other's lines). warn_once() fires at most once per call
+ * site per process, for messages that would otherwise repeat on every
+ * simulation in a long sweep.
  */
 
 #ifndef HIRA_COMMON_LOGGING_HH
 #define HIRA_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace hira {
+
+/** Severity tag handed to the LogSink with each message. */
+enum class LogLevel
+{
+    Warn,
+    Info,
+};
+
+/**
+ * Destination for warn()/inform() messages. Receives the formatted
+ * message body without the "warn: "/"info: " prefix or trailing
+ * newline; the sink decides presentation. Sinks may be called from
+ * multiple threads concurrently and must synchronize internally (the
+ * default stderr sink serializes on a mutex).
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the warn()/inform() destination; an empty function restores
+ * the default stderr sink. Not meant to race with concurrent logging —
+ * install sinks before spawning workers.
+ */
+void setLogSink(LogSink sink);
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
@@ -21,6 +52,10 @@ namespace hira {
     __attribute__((format(printf, 3, 4)));
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** warn() that fires only while @p fired was false (see warn_once). */
+void warnOnceImpl(std::atomic<bool> &fired, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /** Suppress warn()/inform() output (used by tests). */
 void setQuiet(bool quiet);
@@ -36,6 +71,17 @@ std::string strprintf(const char *fmt, ...)
 #define fatal(...) ::hira::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define warn(...) ::hira::warnImpl(__VA_ARGS__)
 #define inform(...) ::hira::informImpl(__VA_ARGS__)
+
+/**
+ * warn() at most once per call site per process (thread-safe; exactly
+ * one thread wins the race and emits). Use for conditions that repeat
+ * per-simulation in long sweeps, e.g. unknown knob values.
+ */
+#define warn_once(...)                                                        \
+    do {                                                                      \
+        static ::std::atomic<bool> hira_warn_once_fired_{false};              \
+        ::hira::warnOnceImpl(hira_warn_once_fired_, __VA_ARGS__);             \
+    } while (0)
 
 /** Invariant check that survives NDEBUG builds. */
 #define hira_assert(cond, ...)                                                \

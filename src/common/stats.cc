@@ -77,6 +77,12 @@ SampleSet::quantile(double q) const
     std::sort(sorted.begin(), sorted.end());
     std::size_t n = sorted.size();
 
+    // Degenerate set: every quantile is the sample itself. Without this
+    // the median-of-halves convention below would hand q1/q3 an empty
+    // half and report 0 for a set that never contained one.
+    if (n == 1)
+        return sorted.front();
+
     if (q <= 0.0)
         return sorted.front();
     if (q >= 1.0)

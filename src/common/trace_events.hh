@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Chrome/Perfetto-compatible trace-event emitter (the "Trace Event
+ * Format" JSON dialect): `B`/`E` duration spans, `X` complete events
+ * with explicit durations, and `C` counter tracks.
+ *
+ * Enabled by HIRA_TRACE_EVENTS=<file>: the process-wide log buffers
+ * events from all threads (sweep workers get stable synthetic tids in
+ * first-seen order) and writes the file once, on flush() or at process
+ * exit. Open the result in ui.perfetto.dev or chrome://tracing.
+ *
+ * Timestamps are wall-clock microseconds since the log was created —
+ * tracing observes the simulator, it never feeds back into simulation
+ * state, so traced runs stay bitwise-identical to untraced ones.
+ *
+ * All emit calls are cheap no-ops when the log is disabled; callers on
+ * per-cycle paths should still gate on enabled() (or a cached pointer)
+ * before formatting arguments.
+ */
+
+#ifndef HIRA_COMMON_TRACE_EVENTS_HH
+#define HIRA_COMMON_TRACE_EVENTS_HH
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace hira {
+
+/** The process-wide trace-event log. */
+class TraceEventLog
+{
+  public:
+    /** The singleton, configured from HIRA_TRACE_EVENTS on first use. */
+    static TraceEventLog &global();
+
+    /** True when a destination file is configured. */
+    bool enabled() const { return enabled_; }
+
+    /** Microseconds since the log was created (event timestamp base). */
+    double nowUs() const;
+
+    /** Begin a duration span on the calling thread. */
+    void begin(const std::string &name, const char *category);
+
+    /** End the calling thread's innermost span. */
+    void end(const std::string &name, const char *category);
+
+    /**
+     * Complete event with explicit start/duration (microseconds), e.g.
+     * a sweep work item measured by the worker itself. @p args_json is
+     * a preformatted JSON object body ("\"queue_wait_us\": 12.5") or
+     * empty.
+     */
+    void complete(const std::string &name, const char *category,
+                  double ts_us, double dur_us,
+                  const std::string &args_json = std::string());
+
+    /** Sample a counter track (one series per name). */
+    void counter(const std::string &name, double value);
+
+    /**
+     * Write the trace file (once; later calls and later events are
+     * dropped). Also runs at process exit for abandoned logs.
+     */
+    void flush();
+
+    // Testing hooks: rebind the destination (path empty = disable) and
+    // drop any buffered events / the written flag.
+    void resetForTest(const std::string &path);
+    std::size_t bufferedEvents() const;
+
+    ~TraceEventLog();
+
+  private:
+    TraceEventLog();
+
+    int tidLocked();
+    void emitLocked(std::string event);
+
+    mutable std::mutex m;
+    bool enabled_ = false;
+    bool flushed_ = false;
+    std::string path_;
+    std::vector<std::string> events_;
+    std::unordered_map<std::thread::id, int> tids_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/** RAII B/E span on the global log. */
+class TraceSpan
+{
+  public:
+    TraceSpan(std::string name, const char *category)
+        : name_(std::move(name)), category_(category),
+          active_(TraceEventLog::global().enabled())
+    {
+        if (active_)
+            TraceEventLog::global().begin(name_, category_);
+    }
+
+    ~TraceSpan()
+    {
+        if (active_)
+            TraceEventLog::global().end(name_, category_);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    std::string name_;
+    const char *category_;
+    bool active_;
+};
+
+} // namespace hira
+
+#endif // HIRA_COMMON_TRACE_EVENTS_HH

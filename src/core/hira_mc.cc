@@ -69,6 +69,15 @@ HiraMc::attach(MemoryController *controller)
         baseline->attach(controller);
 }
 
+void
+HiraMc::attachMetrics(const MetricScope &scope)
+{
+    // PR-FIFOs hold 4 entries (Section 6); one extra bin keeps the
+    // full-FIFO occupancy distinguishable from near-full.
+    mPrFifoDepth = scope.histogram("pr_fifo_depth", 0.0, 5.0, 5);
+    mRefptrResets = scope.counter("refptr_resets");
+}
+
 const RefreshStats *
 HiraMc::baselineStats() const
 {
@@ -146,6 +155,7 @@ HiraMc::tick(Cycle now)
         for (auto &rp : refptrs)
             rp.resetWindow();
         nextWindowReset += windowCycles;
+        count(mRefptrResets);
     }
 
     if (cfg.periodicViaHira) {
@@ -376,6 +386,8 @@ HiraMc::onActivate(int rank, BankId bank, RowId row, Cycle now)
         ++stats_.preventiveDropped;
         return;
     }
+    observe(mPrFifoDepth,
+            static_cast<double>(fifos[rank].size(bank)));
     tables[rank].insert(now + slackCycles, rank, bank,
                         RefreshType::Preventive);
 }

@@ -74,6 +74,7 @@ class HiraMc : public RefreshScheme
     explicit HiraMc(const HiraMcConfig &cfg);
 
     void attach(MemoryController *ctrl) override;
+    void attachMetrics(const MetricScope &scope) override;
     void tick(Cycle now) override;
     Cycle nextEventCycle(Cycle now) const override;
     RowId pickHiddenRefresh(int rank, BankId bank, RowId row_a,
@@ -140,6 +141,12 @@ class HiraMc : public RefreshScheme
     Cycle nextWindowReset = 0;
     Proposal proposal;
     int rankCursor = 0;
+
+    // Observability (nullptr when metrics are off). mPrFifoDepth samples
+    // the per-bank PR-FIFO occupancy right after each successful push;
+    // mRefptrResets counts tREFW window rollovers.
+    HistogramMetric *mPrFifoDepth = nullptr;
+    Counter *mRefptrResets = nullptr;
 };
 
 } // namespace hira

@@ -27,6 +27,32 @@ MemoryController::MemoryController(int channel_id,
     bankSeenScratch.assign(bankAux.size(), 0);
     recorder.setEnabled(cfg.recordTrace);
     refreshScheme->attach(this);
+
+    // Metrics registration (cold path; every pointer stays nullptr when
+    // the scope is disabled). Queue-depth capacity +1 so the full-queue
+    // depth lands in its own bin rather than clamping into the last one.
+    const MetricScope &ms = cfg.metrics;
+    mRowHits = ms.counter("row_hits");
+    mRowMisses = ms.counter("row_misses");
+    mRowConflicts = ms.counter("row_conflicts");
+    mWakeRecomputes = ms.counter("wake_recomputes");
+    mWakeLowers = ms.counter("wake_enqueue_lowers");
+    mReadQDepth = ms.histogram("read_q_depth", 0.0,
+                               static_cast<double>(cfg.readQueueCap + 1),
+                               16);
+    mWriteQDepth = ms.histogram(
+        "write_q_depth", 0.0,
+        static_cast<double>(cfg.writeQueueCap + 1), 16);
+    mBankReads.resize(bankAux.size(), nullptr);
+    mBankWrites.resize(bankAux.size(), nullptr);
+    if (ms.registry() != nullptr) {
+        for (std::size_t i = 0; i < bankAux.size(); ++i) {
+            MetricScope bank = ms.sub(strprintf("bank%zu", i));
+            mBankReads[i] = bank.counter("reads");
+            mBankWrites[i] = bank.counter("writes");
+        }
+    }
+    refreshScheme->attachMetrics(ms.sub("scheme"));
 }
 
 std::size_t
@@ -119,6 +145,7 @@ MemoryController::enqueue(const Request &req)
             nextWake = seen;
         if (wakeListener)
             wakeListener(seen);
+        count(mWakeLowers);
     };
     if (req.type == MemType::Read) {
         // Forward from a queued write to the same line. The forward
@@ -142,6 +169,7 @@ MemoryController::enqueue(const Request &req)
         }
         readQ.push_back(req);
         std::size_t idx = bankIndex(req.da.rank, req.da.bank);
+        count(mBankReads[idx]);
         ++nRead[idx];
         if (model.openRow(req.da.rank, req.da.bank) == req.da.row)
             ++nReadHit[idx];
@@ -154,6 +182,7 @@ MemoryController::enqueue(const Request &req)
     }
     writeQ.push_back(req);
     std::size_t idx = bankIndex(req.da.rank, req.da.bank);
+    count(mBankWrites[idx]);
     ++nWrite[idx];
     if (model.openRow(req.da.rank, req.da.bank) == req.da.row)
         ++nWriteHit[idx];
@@ -361,6 +390,10 @@ MemoryController::tick(Cycle now)
 {
     issuedThisCycle = false;
     lastTick = now;
+    // Occupancy at tick entry; under the event engine this samples only
+    // executed cycles (skipped cycles have provably unchanged queues).
+    observe(mReadQDepth, static_cast<double>(readQ.size()));
+    observe(mWriteQDepth, static_cast<double>(writeQ.size()));
     // Retire expired HiRA bus-slot reservations (at most a handful of
     // future slots; plain index compaction, nothing allocates here).
     if (!reservedSlots.empty()) {
@@ -442,6 +475,7 @@ MemoryController::nextEvent() const
     if (!nextWakeValid) {
         nextWake = computeNextEvent(lastTick);
         nextWakeValid = true;
+        count(mWakeRecomputes);
     }
     return nextWake;
 }
@@ -585,6 +619,7 @@ MemoryController::issueColumnIfReady(std::deque<Request> &queue,
             ++stats_.writesServed;
         }
         markIssued(now);
+        count(mRowHits);
         std::size_t idx = bankIndex(rank, bank);
         if (is_read) {
             --nRead[idx];
@@ -627,6 +662,7 @@ MemoryController::tryDemandAct(const Request &req, Cycle now)
             reserveHiraSlots(now);
             markIssued(now);
             ++stats_.hiraOps;
+            count(mRowMisses); // the demand ACT rode a closed bank
             recountHits(rank, bank); // bank now open with req's row
             refreshScheme->onHiraIssued(rank, bank, hidden, now);
             onRowActivation(rank, bank, hidden, now);
@@ -638,6 +674,7 @@ MemoryController::tryDemandAct(const Request &req, Cycle now)
     model.issueAct(rank, bank, req.da.row, now);
     record(CommandType::ACT, now, rank, bank, req.da.row);
     markIssued(now);
+    count(mRowMisses);
     recountHits(rank, bank);
     onRowActivation(rank, bank, req.da.row, now);
     return true;
@@ -668,8 +705,10 @@ MemoryController::issueRowCommand(std::deque<Request> &queue, Cycle now)
         // Conflict: close the row once its queued hits have drained.
         if (bankHasOpenRowHit(idx))
             continue;
-        if (model.earliestPre(rank, bank) <= now)
+        if (model.earliestPre(rank, bank) <= now) {
+            count(mRowConflicts);
             return tryPre(rank, bank, now);
+        }
     }
     return false;
 }

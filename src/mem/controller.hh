@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "dram/timing_checker.hh"
 #include "dram/timing_state.hh"
 #include "mem/para.hh"
@@ -50,6 +51,15 @@ struct ControllerConfig
      */
     bool paraImmediate = true;
     bool recordTrace = false; //!< feed the TimingChecker trace recorder
+
+    /**
+     * Metrics scope for this controller instance (e.g. "ctrl0."); a
+     * default-constructed scope disables all instrumentation. The
+     * refresh scheme receives the "scheme." child scope. Metrics only
+     * observe: scheduling decisions are identical with and without a
+     * live scope (pinned by tests/sim/test_metrics_equivalence.cc).
+     */
+    MetricScope metrics;
 };
 
 /** Demand-side statistics. */
@@ -270,6 +280,24 @@ class MemoryController
 
     ControllerStats stats_;
     CommandTraceRecorder recorder;
+
+    // Observability (all nullptr when metrics are off; the ControllerStats
+    // command mix is mirrored into the registry at snapshot time instead
+    // of being double-counted here). mRowHits counts column issues (every
+    // column issue hits the open row under FR-FCFS), mRowMisses demand
+    // ACTs into a closed bank, mRowConflicts conflict PREs; mWakeRecomputes
+    // counts lazy nextEvent() horizon recomputes (cache invalidations) and
+    // mWakeLowers accepted-enqueue wake lowerings. Per-bank enqueue
+    // counters live in mBankReads/mBankWrites (bankIndex order); queue
+    // depth histograms are observed once per tick at MetricsLevel::Full.
+    std::vector<Counter *> mBankReads, mBankWrites;
+    Counter *mRowHits = nullptr;
+    Counter *mRowMisses = nullptr;
+    Counter *mRowConflicts = nullptr;
+    mutable Counter *mWakeRecomputes = nullptr;
+    Counter *mWakeLowers = nullptr;
+    HistogramMetric *mReadQDepth = nullptr;
+    HistogramMetric *mWriteQDepth = nullptr;
 };
 
 } // namespace hira

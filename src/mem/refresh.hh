@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/types.hh"
 #include "dram/geometry.hh"
 
@@ -44,6 +45,17 @@ class RefreshScheme
 
     /** Called once after the controller is constructed. */
     virtual void attach(MemoryController *controller) { ctrl = controller; }
+
+    /**
+     * Offer the scheme a metrics scope (e.g. "ctrl0.scheme."), called
+     * right after attach(). Schemes register what they want and keep
+     * the returned pointers; the default registers nothing (the
+     * RefreshStats every scheme reports are mirrored into the registry
+     * by System::metricsSnapshot() without scheme cooperation).
+     * Metrics must only observe — scheme behavior must be identical
+     * with and without a live scope.
+     */
+    virtual void attachMetrics(const MetricScope &scope) { (void)scope; }
 
     /**
      * Per-cycle refresh work. May issue at most one command through the

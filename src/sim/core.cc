@@ -123,6 +123,8 @@ CoreModel::fastForward(Cycle nticks)
 {
     if (nticks == 0)
         return;
+    count(ffTicksMetric, nticks);
+    count(ffCallsMetric);
     if (steadyExhausted()) {
         // Each skipped tick retires `width` and dispatches `width`
         // non-memory instructions: occupancy, loads, stores and

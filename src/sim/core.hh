@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/metrics.hh"
 #include "sim/cache.hh"
 #include "workload/trace_source.hh"
 
@@ -83,6 +84,20 @@ class CoreModel
 
     /** Apply @p nticks closed-form ticks (see skipTicks()). */
     void fastForward(Cycle nticks);
+
+    /**
+     * Register this core's dense-vs-skipped observability counters
+     * under @p scope ("core<i>."). ff_ticks counts CPU ticks applied in
+     * closed form by fastForward(); ff_calls counts the bulk
+     * applications. Retired/loads/stores/stalls are mirrored into the
+     * registry at snapshot time instead (zero hot-path cost).
+     */
+    void
+    attachMetrics(const MetricScope &scope)
+    {
+        ffTicksMetric = scope.counter("ff_ticks");
+        ffCallsMetric = scope.counter("ff_calls");
+    }
 
     /** A missed load's data returned (tag from the access). */
     void onDataReturn(std::uint64_t tag);
@@ -163,6 +178,10 @@ class CoreModel
 
     Cycle cpuCycle = 0;
     std::uint64_t retired = 0;
+
+    // Observability (nullptr when metrics are off; see attachMetrics).
+    Counter *ffTicksMetric = nullptr;
+    Counter *ffCallsMetric = nullptr;
 };
 
 } // namespace hira

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 #include "workload/corpus.hh"
 
 namespace hira {
@@ -126,12 +127,23 @@ runOne(const SystemConfig &cfg, Cycle warmup, Cycle measure)
 {
     auto t0 = std::chrono::steady_clock::now();
     System sys(cfg);
-    sys.run(warmup);
+    {
+        TraceSpan span("warmup", "kernel");
+        sys.run(warmup);
+    }
     sys.resetStats();
-    sys.run(measure);
+    // Snapshot after resetStats so the diff below scopes every metric
+    // to the measurement interval (mirrored core stats restart at zero
+    // with the reset; monotone mirrors subtract away cleanly).
+    MetricsSnapshot base = sys.metricsSnapshot();
+    {
+        TraceSpan span("measure", "kernel");
+        sys.run(measure);
+    }
     RunResult r;
     r.sys = sys.result();
     r.ipc = r.sys.ipc;
+    r.metrics = sys.metricsSnapshot().diff(base);
     r.wallSeconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
@@ -290,20 +302,40 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
     const std::size_t nMixes = mixes_.size();
     std::vector<std::vector<RunResult>> runs(
         plan.size(), std::vector<RunResult>(nMixes));
+    // Per-work-item trace spans: each item records an X event with its
+    // own run time plus how long it sat queued behind the pool
+    // (queue_wait_us = dispatch minus plan submission). Observational
+    // only; results are byte-identical with tracing on or off.
+    TraceEventLog &tlog = TraceEventLog::global();
+    const bool tracing = tlog.enabled();
+    const double tSubmit = tracing ? tlog.nowUs() : 0.0;
     pool.parallelFor(nAlone + plan.size() * nMixes, [&](std::size_t i) {
+        const double tStart = tracing ? tlog.nowUs() : 0.0;
+        std::string label;
         if (i < nAlone) {
+            if (tracing)
+                label = "alone:" + aloneItems[i].bench;
             aloneIpc(aloneItems[i].bench, *aloneItems[i].geom);
-            return;
+        } else {
+            std::size_t flat = i - nAlone;
+            std::size_t pi = flat / nMixes;
+            std::size_t mi = flat % nMixes;
+            const SweepPoint &p = plan[pi];
+            if (tracing) {
+                label = strprintf("%s mix%zu",
+                                  p.scheme.label().c_str(), mi);
+            }
+            SystemConfig cfg = makeSystemConfig(
+                p.geom, p.scheme, mixes_[mi],
+                sweepRunSeed(p.geom.key(), p.scheme.seedKey(), mi));
+            runs[pi][mi] = runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                                  static_cast<Cycle>(knobs.cycles));
         }
-        std::size_t flat = i - nAlone;
-        std::size_t pi = flat / nMixes;
-        std::size_t mi = flat % nMixes;
-        const SweepPoint &p = plan[pi];
-        SystemConfig cfg = makeSystemConfig(
-            p.geom, p.scheme, mixes_[mi],
-            sweepRunSeed(p.geom.key(), p.scheme.seedKey(), mi));
-        runs[pi][mi] = runOne(cfg, static_cast<Cycle>(knobs.warmup),
-                              static_cast<Cycle>(knobs.cycles));
+        if (tracing) {
+            tlog.complete(
+                label, "sweep", tStart, tlog.nowUs() - tStart,
+                strprintf("\"queue_wait_us\": %.3f", tStart - tSubmit));
+        }
     });
 
     // Reduce on the calling thread in plan/mix order, so the floating
@@ -322,6 +354,7 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
             accumulateRefresh(out[pi].refresh, runs[pi][mi].sys.refresh);
             out[pi].wallSeconds += runs[pi][mi].wallSeconds;
             out[pi].simCycles += runs[pi][mi].simCycles;
+            out[pi].metrics.merge(runs[pi][mi].metrics);
         }
         out[pi].meanWs = sum / static_cast<double>(nMixes);
     }

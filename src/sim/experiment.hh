@@ -74,6 +74,11 @@ struct RunResult
     double wallSeconds = 0.0;
     /** Memory-bus cycles simulated (warmup + measurement). */
     std::uint64_t simCycles = 0;
+    /**
+     * Metrics scoped to the measurement interval (the post-warmup
+     * snapshot is diffed away). Empty when HIRA_METRICS is off.
+     */
+    MetricsSnapshot metrics;
 };
 
 /** One (geometry, scheme) point of a sweep grid. */
@@ -97,6 +102,13 @@ struct PointResult
      */
     double wallSeconds = 0.0;
     std::uint64_t simCycles = 0; //!< bus cycles summed over the mixes
+    /**
+     * Per-run metrics merged over the point's mixes in mix order
+     * (counters and histogram bins sum). Empty when HIRA_METRICS is
+     * off. HIRA_JSON drivers surface this as the point's "metrics"
+     * object (bench/bench_util.hh).
+     */
+    MetricsSnapshot metrics;
 };
 
 /**

@@ -1,11 +1,11 @@
 #include "sim/system.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 #include "workload/registry.hh"
 
 namespace hira {
@@ -20,12 +20,9 @@ defaultSimEngine()
         return SimEngine::EventLoop;
     if (std::strcmp(v, "cycle") == 0)
         return SimEngine::CycleLoop;
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true)) {
-        warn("unknown HIRA_ENGINE='%s' (expected 'cycle' or 'event'); "
-             "using 'event'",
-             v);
-    }
+    warn_once("unknown HIRA_ENGINE='%s' (expected 'cycle' or 'event'); "
+              "using 'event'",
+              v);
     return SimEngine::EventLoop;
 }
 
@@ -52,6 +49,20 @@ System::makeScheme() const
 System::System(const SystemConfig &config)
     : cfg(config), mapper(config.geom)
 {
+    // Observability first, so component scopes can hang off the
+    // registry. The kernel's own metrics live under "kernel."; trace
+    // sampling caches the enabled global log once.
+    if (cfg.metricsLevel != MetricsLevel::Off)
+        metrics_ = std::make_unique<MetricRegistry>(cfg.metricsLevel);
+    MetricScope root(metrics_.get(), "");
+    MetricScope kernel = root.sub("kernel");
+    mSkipLen = kernel.histogram("skip_len", 0.0, 4096.0, 64);
+    mLlcStallSkips = kernel.counter("llc_stall_skips");
+    mHeapRekeys = kernel.counter("heap_rekeys");
+    mHeapLowers = kernel.counter("heap_lowers");
+    if (TraceEventLog::global().enabled())
+        tracer_ = &TraceEventLog::global();
+
     // Controllers, one per channel.
     for (int ch = 0; ch < cfg.geom.channels; ++ch) {
         ControllerConfig cc;
@@ -63,6 +74,7 @@ System::System(const SystemConfig &config)
         // perform immediate preventive refreshes.
         cc.paraImmediate = cfg.scheme != SchemeKind::HiraMc;
         cc.recordTrace = cfg.recordTraces;
+        cc.metrics = root.sub(strprintf("ctrl%d", ch));
         controllers.push_back(std::make_unique<MemoryController>(
             ch, cc, makeScheme()));
     }
@@ -99,6 +111,7 @@ System::System(const SystemConfig &config)
         cores.push_back(std::make_unique<CoreModel>(
             static_cast<int>(i), *sources.back(), *llc, cfg.coreWidth,
             cfg.windowEntries, cfg.traceDumpDir.empty()));
+        cores.back()->attachMetrics(root.sub(strprintf("core%zu", i)));
     }
 
     // Deadline index: controller slots by channel id, LLC slot last.
@@ -115,6 +128,7 @@ System::System(const SystemConfig &config)
         for (std::size_t ch = 0; ch < controllers.size(); ++ch) {
             controllers[ch]->setWakeListener([this, ch](Cycle seen) {
                 wakeHeap.lower(ch, seen);
+                count(mHeapLowers);
             });
         }
     }
@@ -208,6 +222,7 @@ System::executeCycle(bool all_controllers)
     // would freeze that conservative bound in (the recompute would run
     // before the arrivals, and lowerWake can only clamp), degrading
     // every busy controller to next-cycle polling.
+    count(mHeapRekeys, tickedScratch.size());
     for (std::uint32_t ch : tickedScratch)
         wakeHeap.update(ch, controllers[ch]->nextEvent());
     tickedScratch.clear();
@@ -268,7 +283,9 @@ System::runEvent(Cycle cycles)
             // ticks in bulk and jump straight to the horizon.
             Cycle last_skipped = std::min(first - 1, end);
             Cycle m = last_skipped - memCycle;
+            observe(mSkipLen, static_cast<double>(m));
             if (llc->outboundPending()) {
+                count(mLlcStallSkips);
                 // Whenever the outbound queue is non-empty its head's
                 // last send just failed (Llc::tick stops at the first
                 // failure, and executeCycle pumped it this cycle), and
@@ -293,6 +310,21 @@ System::runEvent(Cycle cycles)
         }
         ++memCycle;
         ++loopStats_.executedCycles;
+        // Perfetto counter tracks, sampled on an executed-cycle stride
+        // so saturated phases don't flood the trace buffer. Purely
+        // observational: nothing here feeds back into the simulation.
+        if (tracer_ != nullptr) {
+            if (traceSampleCountdown_ == 0) {
+                traceSampleCountdown_ = 65536;
+                tracer_->counter(
+                    "kernel.executed_cycles",
+                    static_cast<double>(loopStats_.executedCycles));
+                tracer_->counter(
+                    "kernel.skipped_cycles",
+                    static_cast<double>(loopStats_.skippedCycles));
+            }
+            --traceSampleCountdown_;
+        }
         executeCycle(false);
     }
     loopStats_.simulatedCycles += cycles;
@@ -303,6 +335,70 @@ System::resetStats()
 {
     for (auto &core : cores)
         core->resetStats();
+}
+
+MetricsSnapshot
+System::metricsSnapshot()
+{
+    if (metrics_ == nullptr)
+        return MetricsSnapshot{};
+
+    // Mirror every stats struct the simulator already keeps into the
+    // registry. The mirrors are monotone counters written by value, so
+    // MetricsSnapshot::diff scopes them to intervals exactly like the
+    // live metrics; publishing here (cold path) instead of
+    // double-counting at the hot sites keeps the Off/Counters overhead
+    // at zero for the whole command mix.
+    auto mirror = [this](const std::string &name, std::uint64_t v) {
+        Counter *c = metrics_->counter(name);
+        if (c != nullptr)
+            c->value = v;
+    };
+
+    mirror("kernel.simulated_cycles", loopStats_.simulatedCycles);
+    mirror("kernel.executed_cycles", loopStats_.executedCycles);
+    mirror("kernel.skipped_cycles", loopStats_.skippedCycles);
+    mirror("kernel.ctrl_ticks", loopStats_.ctrlTicks);
+
+    for (std::size_t ch = 0; ch < controllers.size(); ++ch) {
+        std::string p = strprintf("ctrl%zu.", ch);
+        const ControllerStats &cs = controllers[ch]->stats();
+        mirror(p + "reads_served", cs.readsServed);
+        mirror(p + "writes_served", cs.writesServed);
+        mirror(p + "read_latency_sum", cs.readLatencySum);
+        mirror(p + "forwards", cs.forwards);
+        mirror(p + "cmd.act", cs.acts);
+        mirror(p + "cmd.pre", cs.pres);
+        mirror(p + "cmd.ref", cs.refs);
+        mirror(p + "cmd.hira", cs.hiraOps);
+        mirror(p + "rejected_requests", cs.rejectedRequests);
+        const RefreshStats &rs = controllers[ch]->scheme().stats();
+        mirror(p + "scheme.ref_commands", rs.refCommands);
+        mirror(p + "scheme.row_refreshes", rs.rowRefreshes);
+        mirror(p + "scheme.access_paired", rs.accessPaired);
+        mirror(p + "scheme.refresh_paired", rs.refreshPaired);
+        mirror(p + "scheme.standalone", rs.standalone);
+        mirror(p + "scheme.deadline_misses", rs.deadlineMisses);
+        mirror(p + "scheme.preventive_generated", rs.preventiveGenerated);
+        mirror(p + "scheme.preventive_dropped", rs.preventiveDropped);
+    }
+
+    mirror("llc.hits", llc->hits);
+    mirror("llc.misses", llc->misses);
+    mirror("llc.writebacks", llc->writebacks);
+    mirror("llc.mshr_merges", llc->mshrMerges);
+    mirror("llc.blocked", llc->blocked);
+
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        std::string p = strprintf("core%zu.", i);
+        mirror(p + "retired", cores[i]->retiredInstructions());
+        mirror(p + "cpu_cycles", cores[i]->cpuCycles());
+        mirror(p + "loads", cores[i]->loads);
+        mirror(p + "stores", cores[i]->stores);
+        mirror(p + "stall_cycles", cores[i]->stallCycles);
+    }
+
+    return metrics_->snapshot();
 }
 
 SystemResult

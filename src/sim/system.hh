@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "core/hira_mc.hh"
 #include "dram/addrmap.hh"
 #include "mem/controller.hh"
@@ -28,6 +29,8 @@
 #include "workload/file_trace.hh"
 
 namespace hira {
+
+class TraceEventLog;
 
 /** Which refresh scheme the controllers run. */
 enum class SchemeKind
@@ -86,6 +89,14 @@ struct SystemConfig
 
     /** Simulation-loop engine (defaults to the HIRA_ENGINE knob). */
     SimEngine engine = defaultSimEngine();
+
+    /**
+     * Instrumentation level (defaults to the HIRA_METRICS knob). Off
+     * registers nothing and every metric hook degenerates to one null
+     * test; Counters/Full never change simulation behavior (pinned by
+     * tests/sim/test_metrics_equivalence.cc).
+     */
+    MetricsLevel metricsLevel = defaultMetricsLevel();
 };
 
 /** Post-run summary. */
@@ -136,6 +147,19 @@ class System
     SimEngine engine() const { return cfg.engine; }
     const SimLoopStats &loopStats() const { return loopStats_; }
 
+    /**
+     * Capture the full metrics state: live counters (kernel skip
+     * lengths, controller row hits, PR-FIFO depths, ...) plus
+     * snapshot-time mirrors of every stats struct the simulator already
+     * keeps (ControllerStats command mix, RefreshStats, LLC, per-core
+     * retire/stall counts, SimLoopStats) — the mirrors cost nothing on
+     * the hot path. Empty when metricsLevel is Off. Values are
+     * cumulative since construction; callers scope intervals with
+     * MetricsSnapshot::diff.
+     */
+    MetricsSnapshot metricsSnapshot();
+    MetricsLevel metricsLevel() const { return cfg.metricsLevel; }
+
     // Deadline-index inspection (tests/sim/test_deadline_heap_property
     // pins the quiescent invariant key(ch) == controller(ch).nextEvent()
     // after arbitrary run() sequences). Slot layout: one per channel,
@@ -174,6 +198,21 @@ class System
     Cycle memCycle = 0;
     std::uint64_t cpuAccum = 0; //!< 8/3 clock-ratio accumulator
     SimLoopStats loopStats_;
+
+    // Observability. The registry is owned per System instance (not
+    // thread-safe; concurrent sweeps each own theirs) and is null when
+    // metrics are Off. The kernel's live metrics are only touched on
+    // the event engine's skip/execute decisions; everything else is
+    // mirrored in at metricsSnapshot() time.
+    std::unique_ptr<MetricRegistry> metrics_;
+    HistogramMetric *mSkipLen = nullptr; //!< bus cycles per bulk skip
+    Counter *mLlcStallSkips = nullptr;   //!< skips w/ rejection accrual
+    Counter *mHeapRekeys = nullptr;      //!< post-tick heap re-keys
+    Counter *mHeapLowers = nullptr;      //!< listener-driven lowerings
+    // Trace-event sampling: cached pointer to the enabled global log
+    // (null when tracing is off) and a countdown on executed cycles.
+    TraceEventLog *tracer_ = nullptr;
+    std::uint64_t traceSampleCountdown_ = 0;
 };
 
 } // namespace hira

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the pluggable log sink and warn_once() (satellite of the
+ * observability PR): sink capture and restoration, per-call-site
+ * once-semantics including races and quiet-mode consumption, and the
+ * whole-line guarantee under concurrent workers that motivated routing
+ * the default stderr sink through the process-wide log mutex.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+using namespace hira;
+
+namespace {
+
+/**
+ * Installs a capturing sink for the test's lifetime and restores the
+ * default on destruction. The capture buffer is internally locked
+ * because sinks may be called from multiple threads.
+ */
+class ScopedCaptureSink
+{
+  public:
+    ScopedCaptureSink()
+    {
+        setLogSink([this](LogLevel level, const std::string &msg) {
+            std::lock_guard<std::mutex> lock(m_);
+            lines_.emplace_back(level, msg);
+        });
+    }
+
+    ~ScopedCaptureSink() { setLogSink({}); }
+
+    std::vector<std::pair<LogLevel, std::string>>
+    lines() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return lines_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return lines_.size();
+    }
+
+  private:
+    mutable std::mutex m_;
+    std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+} // namespace
+
+TEST(LogSink, CapturesFormattedMessagesWithLevels)
+{
+    ScopedCaptureSink sink;
+    warn("queue %d over %s", 3, "capacity");
+    inform("point %zu done", static_cast<std::size_t>(7));
+
+    auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].first, LogLevel::Warn);
+    EXPECT_EQ(lines[0].second, "queue 3 over capacity");
+    EXPECT_EQ(lines[1].first, LogLevel::Info);
+    EXPECT_EQ(lines[1].second, "point 7 done");
+}
+
+TEST(LogSink, EmptySinkRestoresDefault)
+{
+    auto probe = [] {
+        ScopedCaptureSink inner;
+        warn("probe");
+        return inner.size();
+    };
+
+    ScopedCaptureSink outer;
+    setLogSink({}); // back to stderr: the outer capture stops seeing msgs
+    warn("to stderr");
+    EXPECT_EQ(outer.size(), 0u);
+
+    // A fresh sink takes over again.
+    EXPECT_EQ(probe(), 1u);
+}
+
+TEST(LogSink, QuietSuppressesSinkToo)
+{
+    ScopedCaptureSink sink;
+    setQuiet(true);
+    warn("dropped");
+    inform("dropped");
+    setQuiet(false);
+    EXPECT_EQ(sink.size(), 0u);
+    warn("kept");
+    EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(WarnOnce, FiresExactlyOncePerCallSite)
+{
+    ScopedCaptureSink sink;
+    for (int i = 0; i < 5; ++i)
+        warn_once("repeated condition %d", i);
+    auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    // The first iteration wins; later formats are never rendered.
+    EXPECT_EQ(lines[0].second, "repeated condition 0");
+}
+
+TEST(WarnOnce, DistinctCallSitesAreIndependent)
+{
+    ScopedCaptureSink sink;
+    warn_once("site A");
+    warn_once("site B"); // different call site: its own once-flag
+    EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(WarnOnce, QuietConsumesTheOnceFlag)
+{
+    ScopedCaptureSink sink;
+    // One call site, hit twice (the macro's once-flag is per expansion,
+    // so textually repeating warn_once would test two distinct sites).
+    auto site = [] { warn_once("swallowed while quiet"); };
+    setQuiet(true);
+    site();
+    setQuiet(false);
+    // The flag was consumed under quiet: un-quieting must not
+    // resurrect the message on a later pass over the same site.
+    site();
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(WarnOnce, ExactlyOneThreadWinsTheRace)
+{
+    ScopedCaptureSink sink;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 100; ++i)
+                warn_once("racing call site");
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(LogSink, ConcurrentWarnsArriveWholeAndComplete)
+{
+    // The tearing regression this PR fixes: each worker's message must
+    // arrive as one intact string, never interleaved with another
+    // worker's bytes, and none may be lost. The sink-side lock in
+    // ScopedCaptureSink only protects the vector; message integrity
+    // comes from dispatch() formatting before publication.
+    ScopedCaptureSink sink;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i)
+                warn("worker %d message %d payload abcdefghij", t, i);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    auto lines = sink.lines();
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+    std::vector<std::string> expected, got;
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPerThread; ++i)
+            expected.push_back(strprintf(
+                "worker %d message %d payload abcdefghij", t, i));
+    for (const auto &l : lines) {
+        EXPECT_EQ(l.first, LogLevel::Warn);
+        got.push_back(l.second);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%.2f s=%s", 3, 1.5, "ab"),
+              "x=3 y=1.50 s=ab");
+    EXPECT_EQ(strprintf("%s", ""), "");
+}

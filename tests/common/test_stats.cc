@@ -127,3 +127,78 @@ TEST(Histogram, EmptySamples)
         EXPECT_DOUBLE_EQ(b.fraction, 0.0);
     }
 }
+
+TEST(SampleSet, EmptySetSummaries)
+{
+    SampleSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.0), 0.0);
+    // box() on an empty set is the zeroed summary, not a panic.
+    BoxStats b = s.box();
+    EXPECT_EQ(b.count, 0u);
+    EXPECT_DOUBLE_EQ(b.min, 0.0);
+    EXPECT_DOUBLE_EQ(b.max, 0.0);
+    EXPECT_DOUBLE_EQ(b.iqr(), 0.0);
+}
+
+TEST(SampleSetDeathTest, QuantileOnEmptyPanics)
+{
+    SampleSet s;
+    EXPECT_DEATH((void)s.quantile(0.5), "assertion failed");
+    EXPECT_DEATH((void)s.min(), "assertion failed");
+    EXPECT_DEATH((void)s.max(), "assertion failed");
+}
+
+TEST(SampleSet, SingleSample)
+{
+    auto s = makeSet({42.0});
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0); // n < 2: no variance estimate
+    BoxStats b = s.box();
+    EXPECT_EQ(b.count, 1u);
+    EXPECT_DOUBLE_EQ(b.min, 42.0);
+    EXPECT_DOUBLE_EQ(b.q1, 42.0);
+    EXPECT_DOUBLE_EQ(b.median, 42.0);
+    EXPECT_DOUBLE_EQ(b.q3, 42.0);
+    EXPECT_DOUBLE_EQ(b.max, 42.0);
+    EXPECT_DOUBLE_EQ(b.mean, 42.0);
+    EXPECT_DOUBLE_EQ(b.iqr(), 0.0);
+}
+
+TEST(SampleSet, AllEqualValues)
+{
+    auto s = makeSet({3.0, 3.0, 3.0, 3.0, 3.0});
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    BoxStats b = s.box();
+    EXPECT_DOUBLE_EQ(b.min, 3.0);
+    EXPECT_DOUBLE_EQ(b.q1, 3.0);
+    EXPECT_DOUBLE_EQ(b.median, 3.0);
+    EXPECT_DOUBLE_EQ(b.q3, 3.0);
+    EXPECT_DOUBLE_EQ(b.max, 3.0);
+    EXPECT_DOUBLE_EQ(b.iqr(), 0.0);
+    // Strictly-above semantics: equal samples do not count.
+    EXPECT_DOUBLE_EQ(s.fractionAbove(3.0), 0.0);
+}
+
+TEST(Histogram, AllSamplesOutOfRange)
+{
+    // Everything clamps to the edge bins (the Fig. 5 tail convention):
+    // nothing is dropped, fractions still sum to 1.
+    auto bins = histogram({-10.0, -0.001, 5.0, 7.0, 99.0}, 0.0, 1.0, 4);
+    EXPECT_EQ(bins.front().count, 2u);
+    EXPECT_EQ(bins.back().count, 3u);
+    double total = 0.0;
+    for (const auto &b : bins)
+        total += b.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, BoundaryValuesBinLeftInclusive)
+{
+    // Bins are [lo, hi): a sample exactly on an interior edge lands in
+    // the right-hand bin; hi itself clamps into the last bin.
+    auto bins = histogram({0.0, 0.5, 1.0}, 0.0, 1.0, 2);
+    EXPECT_EQ(bins[0].count, 1u); // 0.0
+    EXPECT_EQ(bins[1].count, 2u); // 0.5 (edge) and 1.0 (== hi, clamped)
+}

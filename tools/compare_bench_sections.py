@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare the "sections" blocks of two HIRA_JSON bench artifacts.
+
+The observability contract (BUILDING.md "Metrics and event tracing")
+says HIRA_METRICS / HIRA_TRACE_EVENTS may add information to a bench
+artifact ("metrics_level", per-point "metrics" objects) but must never
+change a result the driver reports: the "sections" arrays — every
+figure/table series, every row label, every value — must be bitwise
+identical between a metrics-on and a metrics-off run. CI enforces that
+with this script; any drift is an instrumentation perturbation bug.
+
+Usage: compare_bench_sections.py A.json B.json
+Exits 0 when the sections match, 1 with a diff summary otherwise.
+"""
+
+import json
+import sys
+
+
+def load_sections(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "sections" not in doc:
+        sys.exit(f"error: {path}: no \"sections\" block")
+    return doc["sections"]
+
+
+def describe(sec, idx):
+    label = sec.get("label", "") if isinstance(sec, dict) else ""
+    return f"section #{idx} ({label!r})"
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} A.json B.json")
+    a_path, b_path = argv[1], argv[2]
+    a, b = load_sections(a_path), load_sections(b_path)
+
+    errors = []
+    if len(a) != len(b):
+        errors.append(f"section count differs: {len(a)} vs {len(b)}")
+    for i, (sa, sb) in enumerate(zip(a, b)):
+        where = describe(sa, i)
+        if sa.get("label") != sb.get("label"):
+            errors.append(f"{where}: label differs: "
+                          f"{sa.get('label')!r} vs {sb.get('label')!r}")
+        if sa.get("columns") != sb.get("columns"):
+            errors.append(f"{where}: columns differ")
+        ra, rb = sa.get("rows", []), sb.get("rows", [])
+        if len(ra) != len(rb):
+            errors.append(f"{where}: row count differs: "
+                          f"{len(ra)} vs {len(rb)}")
+        for j, (rowa, rowb) in enumerate(zip(ra, rb)):
+            if rowa.get("label") != rowb.get("label"):
+                errors.append(f"{where} row #{j}: label differs: "
+                              f"{rowa.get('label')!r} vs "
+                              f"{rowb.get('label')!r}")
+            # Values must match exactly (the emitter prints doubles with
+            # a fixed format, so bitwise-identical results serialize to
+            # identical strings and parse to identical floats).
+            if rowa.get("values") != rowb.get("values"):
+                errors.append(f"{where} row #{j} "
+                              f"({rowa.get('label')!r}): values differ:\n"
+                              f"    {a_path}: {rowa.get('values')}\n"
+                              f"    {b_path}: {rowb.get('values')}")
+
+    if errors:
+        print(f"sections of {a_path} and {b_path} DIFFER:",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    n_rows = sum(len(s.get("rows", [])) for s in a)
+    print(f"sections match: {len(a)} sections, {n_rows} rows identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
