@@ -57,6 +57,7 @@ struct TimingRow
     std::string label;
     double simSeconds = 0.0;
     std::uint64_t simulatedCycles = 0;
+    std::string kernel; //!< simulation kernel the point ran under
 };
 
 /** One sweep point's stats record (see recordPointStats). */
@@ -155,6 +156,8 @@ writeJson()
                  jsonEscape(cap.paperRef).c_str());
     std::fprintf(f, "  \"engine\": \"%s\",\n",
                  simEngineName(defaultSimEngine()));
+    std::fprintf(f, "  \"kernel\": \"%s\",\n",
+                 simKernelName(defaultSimKernel()));
     std::fprintf(f, "  \"metrics_level\": \"%s\",\n",
                  metricsLevelName(defaultMetricsLevel()));
     if (cap.haveKnobs) {
@@ -186,10 +189,12 @@ writeJson()
                                 t.simSeconds
                           : 0.0;
         std::fprintf(f,
-                     "    {\"label\": \"%s\", \"sim_seconds\": %s, "
+                     "    {\"label\": \"%s\", \"kernel\": \"%s\", "
+                     "\"sim_seconds\": %s, "
                      "\"simulated_cycles\": %llu, "
                      "\"cycles_per_sec\": %s},\n",
                      jsonEscape(t.label).c_str(),
+                     jsonEscape(t.kernel).c_str(),
                      jsonNumber(t.simSeconds).c_str(),
                      static_cast<unsigned long long>(t.simulatedCycles),
                      jsonNumber(rate).c_str());
@@ -371,15 +376,20 @@ note(const std::string &text)
  * "timing" block (sim seconds, simulated cycles; cycles/sec and a
  * total row are derived at write time). SweepGrid::run() records every
  * plan point automatically; call directly for hand-rolled sweeps.
+ * @p kernel names the simulation kernel the point ran under; empty
+ * means "whatever HIRA_KERNEL selects at record time" (drivers that
+ * sweep the kernel axis pass it explicitly per point).
  */
 inline void
 recordPointTiming(const std::string &label, double sim_seconds,
-                  std::uint64_t simulated_cycles)
+                  std::uint64_t simulated_cycles,
+                  const std::string &kernel = std::string())
 {
     detail::TimingRow t;
     t.label = label;
     t.simSeconds = sim_seconds;
     t.simulatedCycles = simulated_cycles;
+    t.kernel = kernel.empty() ? simKernelName(defaultSimKernel()) : kernel;
     detail::capture().timing.push_back(std::move(t));
 }
 

@@ -68,7 +68,7 @@ struct HiraMcConfig
 };
 
 /** The HiRA-MC refresh scheme for one memory controller (channel). */
-class HiraMc : public RefreshScheme
+class HiraMc final : public RefreshScheme
 {
   public:
     explicit HiraMc(const HiraMcConfig &cfg);

@@ -114,7 +114,7 @@ class RefreshScheme
 };
 
 /** The ideal No Refresh configuration (Fig. 9a's normalization base). */
-class NoRefresh : public RefreshScheme
+class NoRefresh final : public RefreshScheme
 {
   public:
     void tick(Cycle) override {}
@@ -130,7 +130,7 @@ class NoRefresh : public RefreshScheme
  * are queued, up to max_postpone (the standard allows 8) outstanding
  * REFs, after which it is forced.
  */
-class BaselineRefresh : public RefreshScheme
+class BaselineRefresh final : public RefreshScheme
 {
   public:
     explicit BaselineRefresh(int max_postpone = 0)
@@ -139,6 +139,9 @@ class BaselineRefresh : public RefreshScheme
     }
 
     void attach(MemoryController *ctrl) override;
+    // tick/nextEventCycle are defined inline in mem/controller_kernel.hh
+    // (they need the complete MemoryController, and the specialized
+    // kernel inlines them into tickAs<BaselineRefresh>).
     void tick(Cycle now) override;
     Cycle nextEventCycle(Cycle now) const override;
 

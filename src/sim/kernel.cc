@@ -1,0 +1,52 @@
+#include "sim/kernel.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hira {
+
+SimKernel
+defaultSimKernel()
+{
+    const char *v = std::getenv("HIRA_KERNEL");
+    if (v == nullptr || *v == '\0')
+        return SimKernel::Specialized;
+    if (std::strcmp(v, "specialized") == 0)
+        return SimKernel::Specialized;
+    if (std::strcmp(v, "generic") == 0)
+        return SimKernel::Generic;
+    warn_once("unknown HIRA_KERNEL='%s' (expected 'generic' or "
+              "'specialized'); using 'specialized'",
+              v);
+    return SimKernel::Specialized;
+}
+
+const char *
+simKernelName(SimKernel kernel)
+{
+    return kernel == SimKernel::Generic ? "generic" : "specialized";
+}
+
+KernelVariant
+kernelVariantFor(SchemeKind kind, SimKernel kernel)
+{
+    const bool generic = kernel == SimKernel::Generic;
+    switch (kind) {
+      case SchemeKind::NoRefresh:
+        return generic ? KernelVariant{SchemeTag<RefreshScheme>{}}
+                       : KernelVariant{SchemeTag<NoRefresh>{}};
+      case SchemeKind::Baseline:
+        return generic ? KernelVariant{SchemeTag<RefreshScheme>{}}
+                       : KernelVariant{SchemeTag<BaselineRefresh>{}};
+      case SchemeKind::HiraMc:
+        return generic ? KernelVariant{SchemeTag<RefreshScheme>{}}
+                       : KernelVariant{SchemeTag<HiraMc>{}};
+    }
+    panic("SchemeKind %d is outside the kernel registry "
+          "(sim/kernel.hh KernelVariant)",
+          static_cast<int>(kind));
+}
+
+} // namespace hira

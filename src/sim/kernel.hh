@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The (engine x scheme) kernel-dispatch layer.
+ *
+ * Every simulated cycle used to pay virtual dispatch into the refresh
+ * scheme (tick / onActivate / nextEventCycle) from the controller's
+ * inner loop. The specialized kernels remove that cost the way 86Box's
+ * dynarec backends replace its generic interpreter: the hot path is
+ * instantiated once per concrete scheme type at compile time
+ * (MemoryController::tickAs<S> and System's templated run loops, see
+ * src/mem/controller_kernel.hh) and the right instantiation is picked
+ * ONCE per run by visiting the KernelVariant below — never per cycle.
+ *
+ * The virtual path stays fully supported as the *generic oracle*: it
+ * is the same template instantiated with S = RefreshScheme, whose
+ * SchemeOps degenerate to ordinary virtual calls. HIRA_KERNEL selects
+ * between the two, and tests/sim/test_kernel_diff.cc pins them
+ * bitwise-identical at the SystemResult level for every scheme, both
+ * engines, and all workload kinds.
+ */
+
+#ifndef HIRA_SIM_KERNEL_HH
+#define HIRA_SIM_KERNEL_HH
+
+#include <variant>
+
+namespace hira {
+
+class RefreshScheme;
+class NoRefresh;
+class BaselineRefresh;
+class HiraMc;
+
+/** Which refresh scheme the controllers run. */
+enum class SchemeKind
+{
+    NoRefresh, //!< ideal, no periodic refresh (Fig. 9a baseline)
+    Baseline,  //!< rank-level REF every tREFI
+    HiraMc,    //!< HiRA-MC (HiRA-N via HiraMcConfig::slackN)
+};
+
+/**
+ * Simulation-kernel flavor. Both produce bitwise-identical
+ * SystemResult values (pinned by tests/sim/test_kernel_diff.cc); they
+ * differ only in how the scheme's hooks are dispatched on the
+ * per-cycle hot path.
+ */
+enum class SimKernel
+{
+    Generic,     //!< virtual dispatch throughout (the reference oracle)
+    Specialized, //!< per-scheme instantiation, hooks devirtualized
+};
+
+/**
+ * Kernel selected by the HIRA_KERNEL environment variable ("generic"
+ * or "specialized"; default "specialized"). Read on every call so
+ * tests can flip the variable between runs; unknown values warn once
+ * (naming the accepted set) and fall back to the default.
+ */
+SimKernel defaultSimKernel();
+
+/** Display name ("generic" / "specialized") for logs and artifacts. */
+const char *simKernelName(SimKernel kernel);
+
+/**
+ * Compile-time handle on one scheme specialization: an empty tag whose
+ * `type` is the concrete scheme class the kernel is instantiated for
+ * (RefreshScheme itself tags the generic oracle).
+ */
+template <class S>
+struct SchemeTag
+{
+    using type = S;
+};
+
+/**
+ * The closed set of simulation-kernel specializations. Visiting this
+ * variant is the single run-time -> compile-time dispatch point of a
+ * run; adding a scheme to the registry means adding its tag here and
+ * one case to kernelVariantFor() — the differential suite then covers
+ * it automatically (see BUILDING.md "Adding a new refresh scheme").
+ */
+using KernelVariant = std::variant<SchemeTag<RefreshScheme>, // generic
+                                   SchemeTag<NoRefresh>,
+                                   SchemeTag<BaselineRefresh>,
+                                   SchemeTag<HiraMc>>;
+
+/**
+ * The kernel specialization for @p kind under @p kernel: the matching
+ * concrete scheme tag when specialized, the RefreshScheme (oracle) tag
+ * when generic. Panics on an out-of-range SchemeKind under either
+ * kernel — the kind keys a static_cast in the specialized hot path, so
+ * an unmapped value must never reach a run loop.
+ */
+KernelVariant kernelVariantFor(SchemeKind kind, SimKernel kernel);
+
+} // namespace hira
+
+#endif // HIRA_SIM_KERNEL_HH

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <type_traits>
+#include <variant>
 
 #include "common/logging.hh"
 #include "common/trace_events.hh"
@@ -47,7 +49,8 @@ System::makeScheme() const
 }
 
 System::System(const SystemConfig &config)
-    : cfg(config), mapper(config.geom)
+    : cfg(config), mapper(config.geom),
+      kernelTag_(kernelVariantFor(config.scheme, config.kernel))
 {
     // Observability first, so component scopes can hang off the
     // registry. The kernel's own metrics live under "kernel."; trace
@@ -78,6 +81,25 @@ System::System(const SystemConfig &config)
         controllers.push_back(std::make_unique<MemoryController>(
             ch, cc, makeScheme()));
     }
+
+    // Soundness gate for the specialized kernel: tickAs<S> static_casts
+    // the scheme to S on the hot path, so prove the cast once here —
+    // every controller's scheme must be exactly the tagged type. The
+    // generic oracle (S = RefreshScheme) trivially passes.
+    std::visit(
+        [this](auto tag) {
+            using S = typename decltype(tag)::type;
+            if constexpr (!std::is_same_v<S, RefreshScheme>) {
+                for (const auto &ctrl : controllers) {
+                    if (dynamic_cast<S *>(&ctrl->scheme()) == nullptr) {
+                        panic("specialized kernel tag does not match the "
+                              "attached refresh scheme (SchemeKind %d)",
+                              static_cast<int>(cfg.scheme));
+                    }
+                }
+            }
+        },
+        kernelTag_);
 
     // Shared LLC routes misses by channel and notifies cores on fills.
     llc = std::make_unique<Llc>(
@@ -146,10 +168,18 @@ System::route(const Request &req)
 void
 System::run(Cycle cycles)
 {
-    if (cfg.engine == SimEngine::EventLoop)
-        runEvent(cycles);
-    else
-        runCycle(cycles);
+    // The single run-time -> compile-time dispatch point: pick the
+    // (engine x scheme) instantiation once per run() call, never per
+    // cycle. S = RefreshScheme is the generic oracle.
+    std::visit(
+        [&](auto tag) {
+            using S = typename decltype(tag)::type;
+            if (cfg.engine == SimEngine::EventLoop)
+                runEventAs<S>(cycles);
+            else
+                runCycleAs<S>(cycles);
+        },
+        kernelTag_);
 }
 
 void
@@ -174,8 +204,9 @@ System::drainCompletions(MemoryController &ctrl)
     done.resize(kept);
 }
 
+template <class S>
 void
-System::executeCycle(bool all_controllers)
+System::executeCycleAs(bool all_controllers)
 {
     // Controllers tick in channel order (matching the dense loop), not
     // heap-pop order: cross-channel writebacks drained from channel i
@@ -189,11 +220,11 @@ System::executeCycle(bool all_controllers)
         // tick would be a no-op and none of its completions are due
         // (nextEvent() lower-bounds both).
         if (all_controllers) {
-            controllers[ch]->tick(memCycle);
+            controllers[ch]->tickAs<S>(memCycle);
             ++loopStats_.ctrlTicks;
             drainCompletions(*controllers[ch]);
         } else if (wakeHeap.key(ch) <= memCycle) {
-            controllers[ch]->tick(memCycle);
+            controllers[ch]->tickAs<S>(memCycle);
             ++loopStats_.ctrlTicks;
             drainCompletions(*controllers[ch]);
             tickedScratch.push_back(static_cast<std::uint32_t>(ch));
@@ -224,16 +255,17 @@ System::executeCycle(bool all_controllers)
     // every busy controller to next-cycle polling.
     count(mHeapRekeys, tickedScratch.size());
     for (std::uint32_t ch : tickedScratch)
-        wakeHeap.update(ch, controllers[ch]->nextEvent());
+        wakeHeap.update(ch, controllers[ch]->nextEventAs<S>());
     tickedScratch.clear();
 }
 
+template <class S>
 void
-System::runCycle(Cycle cycles)
+System::runCycleAs(Cycle cycles)
 {
     for (Cycle c = 0; c < cycles; ++c) {
         ++memCycle;
-        executeCycle(true);
+        executeCycleAs<S>(true);
     }
     loopStats_.simulatedCycles += cycles;
     loopStats_.executedCycles += cycles;
@@ -271,8 +303,9 @@ System::firstActionableCycle() const
     return std::max(wake, memCycle + 1);
 }
 
+template <class S>
 void
-System::runEvent(Cycle cycles)
+System::runEventAs(Cycle cycles)
 {
     const Cycle end = memCycle + cycles;
     while (memCycle < end) {
@@ -325,7 +358,7 @@ System::runEvent(Cycle cycles)
             }
             --traceSampleCountdown_;
         }
-        executeCycle(false);
+        executeCycleAs<S>(false);
     }
     loopStats_.simulatedCycles += cycles;
 }
