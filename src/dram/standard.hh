@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory-standard registry: named TimingParams factories.
+ *
+ * A MemoryStandard promotes the timing preset from an ad-hoc function
+ * call to a first-class sweep dimension: every standard has a stable
+ * registry name (used in seed keys, bench sections, and the
+ * HIRA_STANDARD knob), a display label, and a TimingParams factory
+ * parameterized by chip capacity. Lookups by unknown name are fatal and
+ * list the known names, mirroring benchmarkByName() — a typo in a sweep
+ * spec must never silently fall back to DDR4.
+ */
+
+#ifndef HIRA_DRAM_STANDARD_HH
+#define HIRA_DRAM_STANDARD_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/timing.hh"
+
+namespace hira {
+
+/** One registry entry: a named TimingParams factory. */
+struct MemoryStandard
+{
+    const char *name;       //!< registry key ("ddr4_2400", ...)
+    const char *display;    //!< human label for bench headers ("DDR4-2400")
+    TimingParams (*make)(double capacity_gb); //!< preset factory
+    double defaultCapacityGb; //!< datasheet-typical chip capacity
+};
+
+/** All registered standards, in registration order. */
+const std::vector<MemoryStandard> &standardRegistry();
+
+/** Comma-joined registry names, for diagnostics and docs. */
+std::string knownStandardNames();
+
+/**
+ * Look up a standard by registry name. Unknown names are fatal and
+ * print the known-name list.
+ */
+const MemoryStandard &standardByName(const std::string &name);
+
+/**
+ * The standard every GeomSpec starts from: HIRA_STANDARD if set (fatal
+ * on an unknown value — a misspelled knob silently running DDR4 would
+ * invalidate a whole sweep), else "ddr4_2400".
+ */
+std::string defaultStandardName();
+
+} // namespace hira
+
+#endif // HIRA_DRAM_STANDARD_HH

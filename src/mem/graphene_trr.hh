@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Graphene-TRR: Misra-Gries frequent-item tracking with periodic
+ * target-row-refresh, as a refresh scheme.
+ *
+ * Each bank owns a k-entry Misra-Gries summary of its activation
+ * stream (Graphene, MICRO 2020): an activation of a tracked row bumps
+ * its counter; an untracked row takes a free slot, or — when the table
+ * is full — decrements every counter (zeroed entries free their slot).
+ * Once per tREFI, per rank, the tracker's hottest row at or above the
+ * threshold gets its two physical neighbors queued for targeted refresh
+ * (the TRR action) and its counter reset. Victims drain through the
+ * controller's refresh-open machinery; the trackers reset every tREFW
+ * window. Periodic refresh stays on conventional REF via an internal
+ * BaselineRefresh engine, mirrored into this scheme's RefreshStats.
+ */
+
+#ifndef HIRA_MEM_GRAPHENE_TRR_HH
+#define HIRA_MEM_GRAPHENE_TRR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mem/refresh.hh"
+
+namespace hira {
+
+/** Graphene-TRR configuration. */
+struct GrapheneConfig
+{
+    /** Misra-Gries tracker entries per bank. */
+    int trackerSize = 16;
+    /** Minimum tracked count before a TRR refresh targets the row. */
+    int threshold = 128;
+    /** Victims queued per bank awaiting their refresh slot. */
+    int queueCap = 8;
+};
+
+/** The Graphene-TRR refresh scheme for one memory controller. */
+class GrapheneTrr final : public RefreshScheme
+{
+  public:
+    explicit GrapheneTrr(const GrapheneConfig &cfg);
+
+    void attach(MemoryController *ctrl) override;
+    void attachMetrics(const MetricScope &scope) override;
+    void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void onActivate(int rank, BankId bank, RowId row, Cycle now) override;
+
+    const GrapheneConfig &config() const { return cfg; }
+    /** Stats of the internal baseline REF engine (test hook). */
+    const RefreshStats &baselineStats() const { return baseline_->stats(); }
+    /** Victims currently queued across all banks (test hook). */
+    std::uint64_t pendingVictims() const { return pendingTotal; }
+
+  private:
+    struct Tracked
+    {
+        RowId row;
+        int hits;
+    };
+
+    void trrSelect(int rank, Cycle now);
+    bool drain(Cycle now);
+
+    GrapheneConfig cfg;
+    std::unique_ptr<BaselineRefresh> baseline_;
+    std::vector<std::vector<Tracked>> trackers;  //!< per (rank, bank)
+    std::vector<std::deque<RowId>> victims;      //!< per (rank, bank)
+    std::vector<Cycle> nextTrrAt;                //!< per rank
+    std::uint64_t pendingTotal = 0;
+    Cycle windowCycles = 0;
+    Cycle nextWindowReset = 0;
+    int bankCursor = 0;
+
+    Counter *mTrrSelections = nullptr;    //!< TRR victims queued
+    HistogramMetric *mTrackerDepth = nullptr; //!< entries at selection
+};
+
+} // namespace hira
+
+#endif // HIRA_MEM_GRAPHENE_TRR_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * RFM: DDR5 refresh management (JESD79-5 section 4.7) as a refresh
+ * scheme.
+ *
+ * The DRAM keeps a per-bank Rolling Accumulated ACT (RAA) counter; when
+ * it crosses the RAA Initial Management Threshold (RAAIMT) the
+ * controller owes the bank an RFM command, during which the device
+ * refreshes the rows most at risk — modeled here as targeted refreshes
+ * of the last activated row's physical neighbors, issued through the
+ * controller's refresh-open machinery (ACT, tRAS restore, auto-PRE),
+ * which blocks the bank exactly the way tRFM does. Periodic refresh
+ * stays on conventional rank-level REF via an internal BaselineRefresh
+ * engine, mirrored into this scheme's RefreshStats.
+ */
+
+#ifndef HIRA_MEM_RFM_HH
+#define HIRA_MEM_RFM_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mem/refresh.hh"
+
+namespace hira {
+
+/** RFM configuration. */
+struct RfmConfig
+{
+    /** RAA Initial Management Threshold: ACTs per bank per RFM. */
+    int raaimt = 32;
+    /** Victims queued per bank awaiting their RFM refresh slot. */
+    int queueCap = 8;
+};
+
+/** The RFM refresh scheme for one memory controller (channel). */
+class RfmRefresh final : public RefreshScheme
+{
+  public:
+    explicit RfmRefresh(const RfmConfig &cfg);
+
+    void attach(MemoryController *ctrl) override;
+    void attachMetrics(const MetricScope &scope) override;
+    void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void onActivate(int rank, BankId bank, RowId row, Cycle now) override;
+
+    const RfmConfig &config() const { return cfg; }
+    /** Stats of the internal baseline REF engine (test hook). */
+    const RefreshStats &baselineStats() const { return baseline_->stats(); }
+    /** Victims currently queued across all banks (test hook). */
+    std::uint64_t pendingVictims() const { return pendingTotal; }
+
+  private:
+    bool drain(Cycle now);
+
+    RfmConfig cfg;
+    std::unique_ptr<BaselineRefresh> baseline_;
+    std::vector<int> raa;                    //!< per (rank, bank)
+    std::vector<std::deque<RowId>> victims;  //!< per (rank, bank)
+    std::uint64_t pendingTotal = 0;
+    int bankCursor = 0;
+
+    Counter *mRfmTriggers = nullptr; //!< RAAIMT crossings (null when off)
+};
+
+} // namespace hira
+
+#endif // HIRA_MEM_RFM_HH

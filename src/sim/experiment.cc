@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/trace_events.hh"
+#include "sim/scheme_registry.hh"
 #include "workload/corpus.hh"
 
 namespace hira {
@@ -36,6 +37,15 @@ GeomSpec::toGeometry() const
     return g;
 }
 
+TimingParams
+GeomSpec::toTiming() const
+{
+    // Unknown standard names are fatal inside standardByName, listing
+    // the registry, so a typo in a sweep spec or HIRA_STANDARD value
+    // can never silently run DDR4 timings under a DDR5 label.
+    return standardByName(standard).make(capacityGb);
+}
+
 std::string
 GeomSpec::key() const
 {
@@ -43,20 +53,20 @@ GeomSpec::key() const
     // distinct capacities (8.0 vs 8.04) onto one alone-IPC cache slot
     // and one RNG stream. The key feeds caching, seeding, and
     // diagnostics, so it must be injective over geometries.
-    return strprintf("c%.17g-ch%d-rk%d", capacityGb, channels, ranks);
+    std::string k = strprintf("c%.17g-ch%d-rk%d", capacityGb, channels,
+                              ranks);
+    // Appended only for non-default standards so the pre-registry
+    // golden seeds (tests/sim/test_experiment.cc) stay valid; a DDR5
+    // point still gets its own alone-IPC cache slot and RNG streams.
+    if (standard != "ddr4_2400")
+        k += "-s" + standard;
+    return k;
 }
 
 std::string
 SchemeSpec::label() const
 {
-    std::string base;
-    switch (kind) {
-      case SchemeKind::NoRefresh: base = "NoRefresh"; break;
-      case SchemeKind::Baseline: base = "Baseline"; break;
-      case SchemeKind::HiraMc:
-        base = strprintf("HiRA-%d", slackN);
-        break;
-    }
+    std::string base = schemeEntryByKind(kind).labelBase(*this);
     if (paraEnabled) {
         base += preventiveViaHira ? "+PARA(HiRA)" : "+PARA";
     }
@@ -69,14 +79,17 @@ SchemeSpec::seedKey() const
     // Every field that changes simulation behavior appears here: two
     // sweep points may share RNG streams only if they are identical.
     // %.17g round-trips doubles exactly, so the key (and with it the
-    // golden seeds) is platform-independent.
+    // golden seeds) is platform-independent. The registry appends the
+    // scheme-specific knobs the base key does not cover (empty for the
+    // pre-registry schemes, preserving their golden seeds).
     return strprintf("k%d-n%d-post%d-pvh%d-para%d-nrh%.17g-prev%d-"
                      "ap%d-rp%d-pull%d-spt%.17g",
                      static_cast<int>(kind), slackN, refPostpone,
                      periodicViaHira ? 1 : 0, paraEnabled ? 1 : 0, nrh,
                      preventiveViaHira ? 1 : 0, accessPairing ? 1 : 0,
                      refreshPairing ? 1 : 0, pullAhead ? 1 : 0,
-                     sptIsolation);
+                     sptIsolation) +
+           schemeEntryByKind(kind).seedKeySuffix(*this);
 }
 
 SystemConfig
@@ -86,33 +99,17 @@ makeSystemConfig(const GeomSpec &geom, const SchemeSpec &scheme,
     SystemConfig cfg;
     cfg.geom = geom.toGeometry();
     cfg.tp = geom.toTiming();
+    cfg.standard = geom.standard;
     cfg.mix = mix;
     cfg.seed = seed;
 
-    double slack_ns = scheme.slackN * cfg.tp.tRC;
-
-    if (scheme.kind == SchemeKind::HiraMc ||
-        (scheme.paraEnabled && scheme.preventiveViaHira)) {
-        cfg.scheme = SchemeKind::HiraMc;
-        cfg.hira.slackN = scheme.slackN;
-        cfg.hira.periodicViaHira =
-            scheme.kind == SchemeKind::HiraMc && scheme.periodicViaHira;
-        cfg.hira.enableAccessPairing = scheme.accessPairing;
-        cfg.hira.enableRefreshPairing = scheme.refreshPairing;
-        cfg.hira.enablePullAhead = scheme.pullAhead;
-        cfg.hira.sptIsolation = scheme.sptIsolation;
-        cfg.hira.seed = hashCombine(seed, 0x517a);
-        if (scheme.paraEnabled && scheme.preventiveViaHira) {
-            cfg.hira.preventive.enabled = true;
-            // Slack-aware threshold (Section 9.1 step 4).
-            cfg.hira.preventive.pth = solvePth(
-                scheme.nrh, slackActivations(slack_ns));
-            cfg.hira.preventive.seed = hashCombine(seed, 0x9a1);
-        }
-    } else {
-        cfg.scheme = scheme.kind;
-        cfg.refPostpone = scheme.refPostpone;
-    }
+    // PreventiveRC promotes any scheme onto the HiRA-MC machinery; the
+    // registry entry's configure hook does the scheme-specific wiring.
+    const SchemeRegistryEntry &entry =
+        (scheme.paraEnabled && scheme.preventiveViaHira)
+            ? schemeEntryByKind(SchemeKind::HiraMc)
+            : schemeEntryByKind(scheme.kind);
+    entry.configure(cfg, scheme, seed);
 
     if (scheme.paraEnabled && !scheme.preventiveViaHira) {
         cfg.para.enabled = true;

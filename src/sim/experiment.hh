@@ -19,6 +19,7 @@
 #include "common/knobs.hh"
 #include "common/rng.hh"
 #include "common/worker_pool.hh"
+#include "dram/standard.hh"
 #include "security/para_analysis.hh"
 #include "sim/system.hh"
 
@@ -30,9 +31,16 @@ struct GeomSpec
     double capacityGb = 8.0;
     int channels = 1;
     int ranks = 1;
+    /**
+     * Memory-standard registry name (dram/standard.hh) the timing
+     * parameters come from. Defaults to the HIRA_STANDARD knob (or
+     * DDR4-2400), so every bench driver sweeps the selected standard
+     * without its own plumbing.
+     */
+    std::string standard = defaultStandardName();
 
     Geometry toGeometry() const;
-    TimingParams toTiming() const { return ddr4_2400(capacityGb); }
+    TimingParams toTiming() const;
     std::string key() const;
 };
 
@@ -53,6 +61,12 @@ struct SchemeSpec
     bool refreshPairing = true;
     bool pullAhead = true;
     double sptIsolation = 0.32;
+
+    // Mitigation-zoo knobs (covered by the registry's seed-key
+    // suffixes; see sim/scheme_registry.hh).
+    int raaimt = 32;         //!< RFM: ACTs per bank per RFM
+    int pracThreshold = 256; //!< PRAC: per-row activation threshold
+    int trackerSize = 16;    //!< Graphene: Misra-Gries entries per bank
 
     std::string label() const;
 

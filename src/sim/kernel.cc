@@ -43,6 +43,15 @@ kernelVariantFor(SchemeKind kind, SimKernel kernel)
       case SchemeKind::HiraMc:
         return generic ? KernelVariant{SchemeTag<RefreshScheme>{}}
                        : KernelVariant{SchemeTag<HiraMc>{}};
+      case SchemeKind::Rfm:
+        return generic ? KernelVariant{SchemeTag<RefreshScheme>{}}
+                       : KernelVariant{SchemeTag<RfmRefresh>{}};
+      case SchemeKind::Prac:
+        return generic ? KernelVariant{SchemeTag<RefreshScheme>{}}
+                       : KernelVariant{SchemeTag<PracRefresh>{}};
+      case SchemeKind::Graphene:
+        return generic ? KernelVariant{SchemeTag<RefreshScheme>{}}
+                       : KernelVariant{SchemeTag<GrapheneTrr>{}};
     }
     panic("SchemeKind %d is outside the kernel registry "
           "(sim/kernel.hh KernelVariant)",

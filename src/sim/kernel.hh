@@ -30,6 +30,9 @@ class RefreshScheme;
 class NoRefresh;
 class BaselineRefresh;
 class HiraMc;
+class RfmRefresh;
+class PracRefresh;
+class GrapheneTrr;
 
 /** Which refresh scheme the controllers run. */
 enum class SchemeKind
@@ -37,6 +40,9 @@ enum class SchemeKind
     NoRefresh, //!< ideal, no periodic refresh (Fig. 9a baseline)
     Baseline,  //!< rank-level REF every tREFI
     HiraMc,    //!< HiRA-MC (HiRA-N via HiraMcConfig::slackN)
+    Rfm,       //!< DDR5 refresh management (per-bank RAA counters)
+    Prac,      //!< per-row activation counters, threshold refresh
+    Graphene,  //!< Misra-Gries tracker with per-tREFI TRR refreshes
 };
 
 /**
@@ -83,7 +89,10 @@ struct SchemeTag
 using KernelVariant = std::variant<SchemeTag<RefreshScheme>, // generic
                                    SchemeTag<NoRefresh>,
                                    SchemeTag<BaselineRefresh>,
-                                   SchemeTag<HiraMc>>;
+                                   SchemeTag<HiraMc>,
+                                   SchemeTag<RfmRefresh>,
+                                   SchemeTag<PracRefresh>,
+                                   SchemeTag<GrapheneTrr>>;
 
 /**
  * The kernel specialization for @p kind under @p kernel: the matching

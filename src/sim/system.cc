@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/trace_events.hh"
+#include "sim/scheme_registry.hh"
 #include "workload/registry.hh"
 
 namespace hira {
@@ -37,15 +38,10 @@ simEngineName(SimEngine engine)
 std::unique_ptr<RefreshScheme>
 System::makeScheme() const
 {
-    switch (cfg.scheme) {
-      case SchemeKind::NoRefresh:
-        return std::make_unique<NoRefresh>();
-      case SchemeKind::Baseline:
-        return std::make_unique<BaselineRefresh>(cfg.refPostpone);
-      case SchemeKind::HiraMc:
-        return std::make_unique<HiraMc>(cfg.hira);
-    }
-    panic("unreachable scheme kind");
+    // Factory dispatch through the scheme registry: adding a scheme is
+    // one registry entry plus a kernel tag, with no switch to extend
+    // here (an unregistered kind panics inside schemeEntryByKind).
+    return schemeEntryByKind(cfg.scheme).make(cfg);
 }
 
 System::System(const SystemConfig &config)

@@ -23,6 +23,9 @@
 #include "core/hira_mc.hh"
 #include "dram/addrmap.hh"
 #include "mem/controller.hh"
+#include "mem/graphene_trr.hh"
+#include "mem/prac.hh"
+#include "mem/rfm.hh"
 #include "sim/core.hh"
 #include "sim/deadline_heap.hh"
 #include "sim/kernel.hh"
@@ -60,9 +63,19 @@ struct SystemConfig
 {
     Geometry geom = Geometry::forCapacityGb(8.0);
     TimingParams tp = ddr4_2400(8.0);
+    /**
+     * Registry name of the memory standard tp was built from (see
+     * dram/standard.hh). Purely descriptive at the System level — tp
+     * carries the actual numbers — but stamped into bench artifacts so
+     * every figure names the standard it ran on.
+     */
+    std::string standard = "ddr4_2400";
     SchemeKind scheme = SchemeKind::Baseline;
     int refPostpone = 0;        //!< Baseline: max postponed REFs [161]
     HiraMcConfig hira;          //!< used when scheme == HiraMc
+    RfmConfig rfm;              //!< used when scheme == Rfm
+    PracConfig prac;            //!< used when scheme == Prac
+    GrapheneConfig graphene;    //!< used when scheme == Graphene
     ParaConfig para;            //!< immediate PARA (non-HiRA preventive)
     WorkloadMix mix;            //!< workload spec per core (registry syntax)
     std::uint64_t seed = 1;

@@ -164,6 +164,56 @@ TEST(EngineDiff, HiraMcModes)
                        "ref-periodic+hira-preventive");
 }
 
+TEST(EngineDiff, MitigationZoo)
+{
+    // Aggressive knobs so every scheme's trigger path fires within the
+    // run; the event loop must reproduce each queue drain and
+    // time-triggered TRR/window instant despite skipping idle cycles.
+    SchemeSpec rfm;
+    rfm.kind = SchemeKind::Rfm;
+    rfm.raaimt = 16;
+    expectEnginesAgree(makeConfig(rfm, memHeavyMix()), "rfm-16");
+
+    SchemeSpec prac;
+    prac.kind = SchemeKind::Prac;
+    prac.pracThreshold = 32;
+    expectEnginesAgree(makeConfig(prac, memHeavyMix()), "prac-32");
+
+    SchemeSpec graphene;
+    graphene.kind = SchemeKind::Graphene;
+    graphene.trackerSize = 8;
+    graphene.nrh = 64.0; // registry sizes the MG threshold as nrh/4
+    expectEnginesAgree(makeConfig(graphene, memHeavyMix()),
+                       "graphene-trk8");
+
+    // Low-intensity mix: long idle stretches between triggers, the
+    // regime where a too-late nextEventCycle horizon would diverge.
+    expectEnginesAgree(makeConfig(rfm, lowIntensityMix()),
+                       "rfm-16 low-intensity");
+    expectEnginesAgree(makeConfig(graphene, lowIntensityMix()),
+                       "graphene-trk8 low-intensity");
+}
+
+TEST(EngineDiff, MitigationZooOnDdr5)
+{
+    GeomSpec ddr5;
+    ddr5.standard = "ddr5_4800";
+    ddr5.capacityGb = 16.0;
+
+    SchemeSpec prac;
+    prac.kind = SchemeKind::Prac;
+    prac.pracThreshold = 32;
+    expectEnginesAgree(makeConfig(prac, memHeavyMix(), ddr5),
+                       "prac-32 ddr5");
+
+    SchemeSpec graphene;
+    graphene.kind = SchemeKind::Graphene;
+    graphene.trackerSize = 8;
+    graphene.nrh = 64.0;
+    expectEnginesAgree(makeConfig(graphene, memHeavyMix(), ddr5),
+                       "graphene-trk8 ddr5");
+}
+
 TEST(EngineDiff, GeometriesAndMixes)
 {
     GeomSpec wide;

@@ -28,6 +28,21 @@ TEST(ExperimentSpec, GeomKeyDistinguishesPoints)
     EXPECT_EQ(a.key(), GeomSpec().key());
 }
 
+TEST(ExperimentSpec, GeomKeySeparatesMemoryStandards)
+{
+    // The DDR4 default keeps the historical key (so the pre-registry
+    // golden seeds and alone-IPC cache keys stay valid); any other
+    // standard gets its own suffix, hence its own RNG streams and
+    // cache slots.
+    GeomSpec d4;
+    EXPECT_EQ(d4.key(), "c8-ch1-rk1");
+    GeomSpec d5;
+    d5.standard = "ddr5_4800";
+    EXPECT_EQ(d5.key(), "c8-ch1-rk1-sddr5_4800");
+    EXPECT_NE(sweepRunSeed(d4.key(), SchemeSpec().seedKey(), 0),
+              sweepRunSeed(d5.key(), SchemeSpec().seedKey(), 0));
+}
+
 TEST(ExperimentSpec, SchemeLabels)
 {
     SchemeSpec s;
@@ -141,6 +156,27 @@ TEST(ExperimentSpec, SweepRunSeedGoldenValues)
               0xdb04ae1bf281e7d9ULL);
     EXPECT_EQ(sweepRunSeed(g32.key(), hira.seedKey(), 5),
               0xecd98b6eb9805dfaULL);
+
+    // Zoo schemes and the DDR5 standard (PR 9): the registry's seed-key
+    // suffixes and the geometry key's standard suffix feed these, so
+    // they pin both extension points.
+    GeomSpec d5; // c16-ch1-rk1-sddr5_4800
+    d5.standard = "ddr5_4800";
+    d5.capacityGb = 16.0;
+    SchemeSpec rfm;
+    rfm.kind = SchemeKind::Rfm;
+    SchemeSpec prac;
+    prac.kind = SchemeKind::Prac;
+    SchemeSpec trr;
+    trr.kind = SchemeKind::Graphene;
+    EXPECT_EQ(sweepRunSeed(g8.key(), rfm.seedKey(), 0),
+              0x7e7c4b19108796e2ULL);
+    EXPECT_EQ(sweepRunSeed(d5.key(), prac.seedKey(), 0),
+              0x2c546b0a162ebefdULL);
+    EXPECT_EQ(sweepRunSeed(d5.key(), trr.seedKey(), 3),
+              0xaa9922a0e6ff55a2ULL);
+    EXPECT_EQ(sweepRunSeed(d5.key(), base.seedKey(), 0),
+              0x5adc4089828c2946ULL);
 }
 
 TEST(ExperimentSpec, SweepRunSeedDistinguishesEveryAxis)
@@ -190,6 +226,41 @@ TEST(ExperimentSpec, SeedKeySeparatesPointsThatShareALabel)
     f.refPostpone = 8; // elastic postponement, label unchanged
     EXPECT_EQ(e.label(), f.label());
     EXPECT_NE(e.seedKey(), f.seedKey());
+}
+
+TEST(ExperimentSpec, SeedKeySeparatesZooKnobs)
+{
+    // The zoo schemes' knobs live outside the base seedKey() fields;
+    // the registry's per-scheme suffix must separate them, or an RFM
+    // RAAIMT sweep (etc.) would reuse one RNG stream for every point.
+    SchemeSpec rfm;
+    rfm.kind = SchemeKind::Rfm;
+    SchemeSpec rfm2 = rfm;
+    rfm2.raaimt = 64;
+    EXPECT_EQ(rfm.label(), rfm2.label());
+    EXPECT_NE(rfm.seedKey(), rfm2.seedKey());
+
+    SchemeSpec prac;
+    prac.kind = SchemeKind::Prac;
+    SchemeSpec prac2 = prac;
+    prac2.pracThreshold = 512;
+    EXPECT_EQ(prac.label(), prac2.label());
+    EXPECT_NE(prac.seedKey(), prac2.seedKey());
+
+    SchemeSpec trr;
+    trr.kind = SchemeKind::Graphene;
+    SchemeSpec trr2 = trr;
+    trr2.trackerSize = 32;
+    EXPECT_EQ(trr.label(), trr2.label());
+    EXPECT_NE(trr.seedKey(), trr2.seedKey());
+
+    // Legacy schemes keep suffix-free keys: the pre-registry golden
+    // seeds depend on it.
+    SchemeSpec base;
+    EXPECT_EQ(base.seedKey().find("-raaimt"), std::string::npos);
+    SchemeSpec hira;
+    hira.kind = SchemeKind::HiraMc;
+    EXPECT_EQ(hira.seedKey().find("-trk"), std::string::npos);
 }
 
 TEST(ExperimentSpec, WeightedSpeedupRejectsDegenerateAloneIpc)

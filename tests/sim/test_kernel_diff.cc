@@ -169,6 +169,52 @@ TEST(KernelDiff, HiraMcModes)
                        "ref-periodic+hira-preventive");
 }
 
+TEST(KernelDiff, MitigationZoo)
+{
+    // Aggressive knobs so every scheme's trigger path fires within the
+    // 20k-cycle run: RAAIMT crossings, PRAC threshold hits, and
+    // Graphene TRR selections all happen many times.
+    SchemeSpec rfm;
+    rfm.kind = SchemeKind::Rfm;
+    rfm.raaimt = 16;
+    expectKernelsAgree(makeConfig(rfm, memHeavyMix()), "rfm-16");
+
+    SchemeSpec prac;
+    prac.kind = SchemeKind::Prac;
+    prac.pracThreshold = 32;
+    expectKernelsAgree(makeConfig(prac, memHeavyMix()), "prac-32");
+
+    SchemeSpec graphene;
+    graphene.kind = SchemeKind::Graphene;
+    graphene.trackerSize = 8;
+    graphene.nrh = 64.0; // registry sizes the MG threshold as nrh/4
+    expectKernelsAgree(makeConfig(graphene, memHeavyMix()),
+                       "graphene-trk8");
+}
+
+TEST(KernelDiff, MitigationZooOnDdr5)
+{
+    // The zoo on DDR5-4800 timings: different tREFI/tRC change every
+    // trigger cadence, so the specialized kernels must agree on both
+    // standards, not just the DDR4 default.
+    GeomSpec ddr5;
+    ddr5.standard = "ddr5_4800";
+    ddr5.capacityGb = 16.0;
+
+    SchemeSpec rfm;
+    rfm.kind = SchemeKind::Rfm;
+    rfm.raaimt = 16;
+    expectKernelsAgree(makeConfig(rfm, memHeavyMix(), ddr5),
+                       "rfm-16 ddr5");
+
+    SchemeSpec graphene;
+    graphene.kind = SchemeKind::Graphene;
+    graphene.trackerSize = 8;
+    graphene.nrh = 64.0;
+    expectKernelsAgree(makeConfig(graphene, memHeavyMix(), ddr5),
+                       "graphene-trk8 ddr5");
+}
+
 TEST(KernelDiff, WideGeometry)
 {
     GeomSpec wide;
