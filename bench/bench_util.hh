@@ -30,6 +30,7 @@
 #include "common/metrics.hh"
 #include "common/trace_events.hh"
 #include "sim/experiment.hh"
+#include "sim/result_cache.hh"
 #include "workload/corpus.hh"
 
 #ifndef HIRA_GIT_REV
@@ -57,7 +58,18 @@ struct TimingRow
     std::string label;
     double simSeconds = 0.0;
     std::uint64_t simulatedCycles = 0;
-    std::string kernel; //!< simulation kernel the point ran under
+    std::string kernel;   //!< simulation kernel the point ran under
+    bool cacheHit = false; //!< served from the result cache
+};
+
+/** Result-cache outcome of a driver's sweeps (see recordCacheStats). */
+struct CacheRecord
+{
+    bool have = false;   //!< a cache-enabled runner was recorded
+    std::string mode;    //!< "off" / "read" / "readwrite"
+    ResultCacheStats stats;
+    std::uint64_t pointsSimulated = 0;
+    std::uint64_t pointsFromCache = 0;
 };
 
 /** One sweep point's stats record (see recordPointStats). */
@@ -80,6 +92,7 @@ struct JsonCapture
     std::vector<std::string> notes;
     std::vector<TimingRow> timing;
     std::vector<PointRow> points;
+    CacheRecord cache;
     bool written = false;
 };
 
@@ -160,6 +173,31 @@ writeJson()
                  simKernelName(defaultSimKernel()));
     std::fprintf(f, "  \"metrics_level\": \"%s\",\n",
                  metricsLevelName(defaultMetricsLevel()));
+    // Always present so artifact consumers (the CI warm-cache check)
+    // never have to special-case its absence: mode "off" when no
+    // cache-enabled runner was recorded.
+    if (cap.cache.have) {
+        const ResultCacheStats &cs = cap.cache.stats;
+        std::fprintf(
+            f,
+            "  \"result_cache\": {\"mode\": \"%s\", "
+            "\"points_simulated\": %llu, \"points_from_cache\": %llu, "
+            "\"hits\": %llu, \"misses\": %llu, \"stale\": %llu, "
+            "\"corrupt\": %llu, \"writes\": %llu, "
+            "\"bytes_read\": %llu, \"bytes_written\": %llu},\n",
+            jsonEscape(cap.cache.mode).c_str(),
+            static_cast<unsigned long long>(cap.cache.pointsSimulated),
+            static_cast<unsigned long long>(cap.cache.pointsFromCache),
+            static_cast<unsigned long long>(cs.hits),
+            static_cast<unsigned long long>(cs.misses),
+            static_cast<unsigned long long>(cs.stale),
+            static_cast<unsigned long long>(cs.corrupt),
+            static_cast<unsigned long long>(cs.writes),
+            static_cast<unsigned long long>(cs.bytesRead),
+            static_cast<unsigned long long>(cs.bytesWritten));
+    } else {
+        std::fprintf(f, "  \"result_cache\": {\"mode\": \"off\"},\n");
+    }
     if (cap.haveKnobs) {
         std::fprintf(f,
                      "  \"knobs\": {\"mixes\": %d, \"cycles\": %lld, "
@@ -192,12 +230,13 @@ writeJson()
                      "    {\"label\": \"%s\", \"kernel\": \"%s\", "
                      "\"sim_seconds\": %s, "
                      "\"simulated_cycles\": %llu, "
-                     "\"cycles_per_sec\": %s},\n",
+                     "\"cycles_per_sec\": %s, \"cache_hit\": %s},\n",
                      jsonEscape(t.label).c_str(),
                      jsonEscape(t.kernel).c_str(),
                      jsonNumber(t.simSeconds).c_str(),
                      static_cast<unsigned long long>(t.simulatedCycles),
-                     jsonNumber(rate).c_str());
+                     jsonNumber(rate).c_str(),
+                     t.cacheHit ? "true" : "false");
     }
     std::fprintf(f,
                  "    {\"label\": \"total\", \"sim_seconds\": %s, "
@@ -383,14 +422,37 @@ note(const std::string &text)
 inline void
 recordPointTiming(const std::string &label, double sim_seconds,
                   std::uint64_t simulated_cycles,
-                  const std::string &kernel = std::string())
+                  const std::string &kernel = std::string(),
+                  bool cache_hit = false)
 {
     detail::TimingRow t;
     t.label = label;
     t.simSeconds = sim_seconds;
     t.simulatedCycles = simulated_cycles;
     t.kernel = kernel.empty() ? simKernelName(defaultSimKernel()) : kernel;
+    t.cacheHit = cache_hit;
     detail::capture().timing.push_back(std::move(t));
+}
+
+/**
+ * Record @p runner's result-cache outcome for the HIRA_JSON artifact's
+ * "result_cache" block (mode, hit/miss/stale/corrupt/write counters,
+ * and the points simulated vs served from cache). SweepGrid::run()
+ * records automatically; call directly after hand-rolled runPoints()
+ * sweeps. Cumulative per runner, so the last call per driver wins —
+ * which is what a multi-sweep driver sharing one runner wants.
+ */
+inline void
+recordCacheStats(const SweepRunner &runner)
+{
+    detail::CacheRecord &rec = detail::capture().cache;
+    const ResultCache *cache = runner.resultCache();
+    rec.have = true;
+    rec.mode = cache != nullptr ? resultCacheModeName(cache->mode())
+                                : "off";
+    rec.stats = cache != nullptr ? cache->stats() : ResultCacheStats{};
+    rec.pointsSimulated = runner.pointsSimulated();
+    rec.pointsFromCache = runner.pointsFromCache();
 }
 
 /**
@@ -523,10 +585,12 @@ class SweepGrid
                 strprintf("%s @ %s", points_[i].scheme.label().c_str(),
                           points_[i].geom.key().c_str());
             recordPointTiming(label, results_[i].wallSeconds,
-                              results_[i].simCycles);
+                              results_[i].simCycles, std::string(),
+                              results_[i].cacheHit);
             recordPointStats(label, results_[i].refresh,
                              results_[i].metrics);
         }
+        recordCacheStats(runner);
     }
 
     const PointResult &

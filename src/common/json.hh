@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal shared JSON support: a recursive-descent reader scoped to
+ * what the repo's formats need (objects, arrays, strings with the
+ * common escapes, numbers, booleans, null) plus the escaping/number
+ * helpers every emitter shares.
+ *
+ * Grown out of the corpus-manifest reader (PR 4) when the sweep-plan
+ * protocol (sim/sweep_plan.hh) and the result cache needed the same
+ * machinery: one parser, one set of fatal diagnostics ("<where>:
+ * invalid JSON at byte N: ...") for every JSON surface.
+ */
+
+#ifndef HIRA_COMMON_JSON_HH
+#define HIRA_COMMON_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hira {
+
+/** One parsed JSON value (a small, copyable tree). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member by key, or nullptr (first match wins). */
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        for (const auto &kv : object) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+};
+
+/**
+ * Parse @p text as one JSON document. Malformed input is fatal with
+ * @p where (a path or protocol name) and the byte offset; trailing
+ * garbage after the top-level value is rejected.
+ */
+JsonValue parseJson(const std::string &text, const std::string &where);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render @p v as a JSON number that round-trips bitwise: %.17g is
+ * exact for finite doubles; NaN/Inf (which JSON cannot express)
+ * render as null.
+ */
+std::string jsonDouble(double v);
+
+} // namespace hira
+
+#endif // HIRA_COMMON_JSON_HH

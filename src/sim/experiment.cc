@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/trace_events.hh"
+#include "sim/result_cache.hh"
 #include "sim/scheme_registry.hh"
 #include "workload/corpus.hh"
 
@@ -170,15 +171,24 @@ weightedSpeedup(const std::vector<double> &ipc_shared,
 }
 
 SweepRunner::SweepRunner(const BenchKnobs &k)
-    : knobs(k), pool(k.threads)
+    : knobs(k), pool(k.threads), resultCache_(ResultCache::fromEnv())
 {
     mixes_ = makeMixes(knobs.mixes, knobs.cores);
 }
 
 SweepRunner::SweepRunner(const BenchKnobs &k, std::vector<WorkloadMix> mixes)
-    : knobs(k), mixes_(std::move(mixes)), pool(k.threads)
+    : knobs(k), mixes_(std::move(mixes)), pool(k.threads),
+      resultCache_(ResultCache::fromEnv())
 {
     hira_assert(!mixes_.empty());
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::setResultCache(std::unique_ptr<ResultCache> cache)
+{
+    resultCache_ = std::move(cache);
 }
 
 bool
@@ -222,16 +232,28 @@ SweepRunner::aloneIpc(const std::string &bench, const GeomSpec &geom)
         aloneCache.emplace(key, AloneSlot{});
         lock.unlock();
         double ipc = 0.0;
+        bool fromDisk = false;
+        std::string diskKey;
         try {
-            SchemeSpec none;
-            none.kind = SchemeKind::NoRefresh;
-            WorkloadMix solo = {bench};
-            SystemConfig cfg =
-                makeSystemConfig(geom, none, solo, hashString(key));
-            aloneRuns.fetch_add(1);
-            RunResult r = runOne(cfg, static_cast<Cycle>(knobs.warmup),
-                                 static_cast<Cycle>(knobs.cycles));
-            ipc = r.ipc.at(0);
+            // The persistent layer under the in-memory single-flight
+            // cache: a previous process's alone run (same canonical
+            // key, see aloneResultCacheKey) replaces the simulation.
+            if (resultCache_ != nullptr) {
+                diskKey = aloneResultCacheKey(bench, geom, knobs);
+                fromDisk = resultCache_->lookupAlone(diskKey, ipc);
+            }
+            if (!fromDisk) {
+                SchemeSpec none;
+                none.kind = SchemeKind::NoRefresh;
+                WorkloadMix solo = {bench};
+                SystemConfig cfg =
+                    makeSystemConfig(geom, none, solo, hashString(key));
+                aloneRuns.fetch_add(1);
+                RunResult r =
+                    runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                           static_cast<Cycle>(knobs.cycles));
+                ipc = r.ipc.at(0);
+            }
         } catch (...) {
             // Drop the placeholder so waiters retry (and one of them
             // becomes the new leader) rather than blocking forever.
@@ -247,6 +269,8 @@ SweepRunner::aloneIpc(const std::string &bench, const GeomSpec &geom)
                   "spec (empty or instantly-exhausted 'file:' trace?)",
                   bench.c_str(), geom.key().c_str(), ipc);
         }
+        if (resultCache_ != nullptr && !fromDisk)
+            resultCache_->storeAlone(diskKey, ipc);
         lock.lock();
         AloneSlot &slot = aloneCache[key];
         slot.ipc = ipc;
@@ -262,12 +286,43 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
     if (plan.empty())
         return {};
 
+    // Result-cache consult: hits fill their slots directly and the
+    // simulation queue below is built from the misses only. Keys are
+    // computed once and reused for the post-reduction store, so lookup
+    // and store can never disagree.
+    std::vector<PointResult> out(plan.size());
+    std::vector<std::size_t> missIdx;
+    std::vector<std::string> missKeys;
+    missIdx.reserve(plan.size());
+    if (resultCache_ != nullptr) {
+        for (std::size_t pi = 0; pi < plan.size(); ++pi) {
+            std::string key = plan[pi].cacheKey(knobs, mixes_);
+            if (resultCache_->lookupPoint(key, out[pi])) {
+                out[pi].cacheHit = true;
+                pointsFromCache_.fetch_add(1);
+            } else {
+                missIdx.push_back(pi);
+                missKeys.push_back(std::move(key));
+            }
+        }
+    } else {
+        for (std::size_t pi = 0; pi < plan.size(); ++pi)
+            missIdx.push_back(pi);
+    }
+    pointsSimulated_.fetch_add(missIdx.size());
+    if (missIdx.empty()) {
+        // Fully-warm plan: no simulation, no alone warmups.
+        lastRefresh = out.back().refresh;
+        return out;
+    }
+
     // Deduplicated IPC-alone warmup items: one per (bench, geometry)
-    // key that is neither cached nor already queued for this plan.
-    // Manifest alone-IPC priors are installed straight into the cache
-    // here, so prior-carrying workloads never enqueue a warmup run.
-    // aloneIpc() itself is single-flight, so a key raced in by a
-    // concurrent caller is simply waited on, never re-run.
+    // key — of the cache-miss points only — that is neither cached nor
+    // already queued for this plan. Manifest alone-IPC priors are
+    // installed straight into the cache here, so prior-carrying
+    // workloads never enqueue a warmup run. aloneIpc() itself is
+    // single-flight, so a key raced in by a concurrent caller is
+    // simply waited on, never re-run.
     struct AloneItem
     {
         std::string bench;
@@ -277,7 +332,8 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
     {
         std::set<std::string> queued;
         std::lock_guard<std::mutex> lock(cacheMutex);
-        for (const SweepPoint &p : plan) {
+        for (std::size_t pi : missIdx) {
+            const SweepPoint &p = plan[pi];
             for (const WorkloadMix &mix : mixes_) {
                 for (const std::string &b : mix) {
                     std::string key = aloneIpcCacheKey(b, p.geom);
@@ -292,13 +348,13 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
         }
     }
 
-    // One flat queue: the alone warmups, then every (point, mix)
-    // simulation. All items are independent simulations, so the pool
-    // drains them with no barrier in between.
+    // One flat queue: the alone warmups, then every cache-miss
+    // (point, mix) simulation. All items are independent simulations,
+    // so the pool drains them with no barrier in between.
     const std::size_t nAlone = aloneItems.size();
     const std::size_t nMixes = mixes_.size();
     std::vector<std::vector<RunResult>> runs(
-        plan.size(), std::vector<RunResult>(nMixes));
+        missIdx.size(), std::vector<RunResult>(nMixes));
     // Per-work-item trace spans: each item records an X event with its
     // own run time plus how long it sat queued behind the pool
     // (queue_wait_us = dispatch minus plan submission). Observational
@@ -306,7 +362,7 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
     TraceEventLog &tlog = TraceEventLog::global();
     const bool tracing = tlog.enabled();
     const double tSubmit = tracing ? tlog.nowUs() : 0.0;
-    pool.parallelFor(nAlone + plan.size() * nMixes, [&](std::size_t i) {
+    pool.parallelFor(nAlone + missIdx.size() * nMixes, [&](std::size_t i) {
         const double tStart = tracing ? tlog.nowUs() : 0.0;
         std::string label;
         if (i < nAlone) {
@@ -315,9 +371,9 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
             aloneIpc(aloneItems[i].bench, *aloneItems[i].geom);
         } else {
             std::size_t flat = i - nAlone;
-            std::size_t pi = flat / nMixes;
+            std::size_t k = flat / nMixes;
             std::size_t mi = flat % nMixes;
-            const SweepPoint &p = plan[pi];
+            const SweepPoint &p = plan[missIdx[k]];
             if (tracing) {
                 label = strprintf("%s mix%zu",
                                   p.scheme.label().c_str(), mi);
@@ -325,8 +381,8 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
             SystemConfig cfg = makeSystemConfig(
                 p.geom, p.scheme, mixes_[mi],
                 sweepRunSeed(p.geom.key(), p.scheme.seedKey(), mi));
-            runs[pi][mi] = runOne(cfg, static_cast<Cycle>(knobs.warmup),
-                                  static_cast<Cycle>(knobs.cycles));
+            runs[k][mi] = runOne(cfg, static_cast<Cycle>(knobs.warmup),
+                                 static_cast<Cycle>(knobs.cycles));
         }
         if (tracing) {
             tlog.complete(
@@ -335,10 +391,14 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
         }
     });
 
-    // Reduce on the calling thread in plan/mix order, so the floating
-    // point summation order is fixed regardless of thread count.
-    std::vector<PointResult> out(plan.size());
-    for (std::size_t pi = 0; pi < plan.size(); ++pi) {
+    // Reduce the miss points on the calling thread in plan/mix order,
+    // so the floating point summation order is fixed regardless of
+    // thread count — and identical to an uncached run's, which is what
+    // makes cold and warm artifacts bitwise-equal. Each reduced point
+    // is committed to the cache as soon as it is complete (point
+    // granularity: a killed multi-point plan resumes from here).
+    for (std::size_t k = 0; k < missIdx.size(); ++k) {
+        std::size_t pi = missIdx[k];
         const SweepPoint &p = plan[pi];
         double sum = 0.0;
         for (std::size_t mi = 0; mi < nMixes; ++mi) {
@@ -346,14 +406,16 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &plan)
             for (const std::string &b : mixes_[mi])
                 alone.push_back(aloneIpc(b, p.geom));
             sum += weightedSpeedup(
-                runs[pi][mi].ipc, alone,
+                runs[k][mi].ipc, alone,
                 strprintf("mix %zu on %s", mi, p.geom.key().c_str()));
-            accumulateRefresh(out[pi].refresh, runs[pi][mi].sys.refresh);
-            out[pi].wallSeconds += runs[pi][mi].wallSeconds;
-            out[pi].simCycles += runs[pi][mi].simCycles;
-            out[pi].metrics.merge(runs[pi][mi].metrics);
+            accumulateRefresh(out[pi].refresh, runs[k][mi].sys.refresh);
+            out[pi].wallSeconds += runs[k][mi].wallSeconds;
+            out[pi].simCycles += runs[k][mi].simCycles;
+            out[pi].metrics.merge(runs[k][mi].metrics);
         }
         out[pi].meanWs = sum / static_cast<double>(nMixes);
+        if (resultCache_ != nullptr)
+            resultCache_->storePoint(missKeys[k], out[pi]);
     }
     lastRefresh = out.back().refresh;
     return out;

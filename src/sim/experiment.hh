@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "sim/system.hh"
 
 namespace hira {
+
+class ResultCache;
 
 /** Memory-system geometry of one experiment point. */
 struct GeomSpec
@@ -100,6 +103,22 @@ struct SweepPoint
 {
     GeomSpec geom;
     SchemeSpec scheme;
+
+    /**
+     * Canonical result-cache key of this point when evaluated with
+     * @p knobs over @p mixes: a multi-line string covering every
+     * behavior-affecting input (code revision, geometry key and
+     * standard, scheme seed-key, engine/kernel/metrics selection,
+     * warmup and measured cycles, and the fully-resolved mix specs —
+     * see sim/result_cache.hh). Tools, the daemon, and SweepRunner all
+     * derive keys through this one function so they can never disagree
+     * on field ordering; golden strings are pinned in
+     * tests/sim/test_result_cache.cc. Thread count is deliberately
+     * absent (results are bitwise thread-count-independent), as is
+     * knobs.rows (unused by sweep simulations).
+     */
+    std::string cacheKey(const BenchKnobs &knobs,
+                         const std::vector<WorkloadMix> &mixes) const;
 };
 
 /** Per-point outcome of SweepRunner::runPoints(). */
@@ -123,6 +142,14 @@ struct PointResult
      * object (bench/bench_util.hh).
      */
     MetricsSnapshot metrics;
+    /**
+     * True when the point was served from the result cache instead of
+     * simulated. Not part of the cached payload (a stored entry always
+     * re-loads with cacheHit = true); on a hit, wallSeconds/simCycles
+     * report the ORIGINAL simulation's cost, with this flag marking the
+     * row as replayed (bench timing rows record it as "cache_hit").
+     */
+    bool cacheHit = false;
 };
 
 /**
@@ -199,6 +226,8 @@ class SweepRunner
      */
     SweepRunner(const BenchKnobs &knobs, std::vector<WorkloadMix> mixes);
 
+    ~SweepRunner(); // out of line: ResultCache is incomplete here
+
     /** The mixes this runner evaluates (knobs.mixes of the 125). */
     const std::vector<WorkloadMix> &mixes() const { return mixes_; }
 
@@ -237,6 +266,23 @@ class SweepRunner
     std::uint64_t aloneRunCount() const { return aloneRuns.load(); }
 
     /**
+     * Replace the result cache (tests and the daemon pass an explicit
+     * directory; nullptr disables caching). Both constructors install
+     * ResultCache::fromEnv(), so HIRA_RESULT_CACHE enables caching for
+     * every runner with no driver changes.
+     */
+    void setResultCache(std::unique_ptr<ResultCache> cache);
+
+    /** The active result cache, or nullptr (stats/metrics access). */
+    ResultCache *resultCache() const { return resultCache_.get(); }
+
+    /** Plan points actually simulated by runPoints() (cache misses). */
+    std::uint64_t pointsSimulated() const { return pointsSimulated_.load(); }
+
+    /** Plan points served from the result cache by runPoints(). */
+    std::uint64_t pointsFromCache() const { return pointsFromCache_.load(); }
+
+    /**
      * Refresh stats of the most recent point evaluated: after
      * meanWs(), that call's mix-summed aggregate; after a multi-point
      * runPoints(), the FINAL plan point's aggregate only (per-point
@@ -270,6 +316,11 @@ class SweepRunner
     std::mutex cacheMutex;
     std::condition_variable cacheCv;
     std::atomic<std::uint64_t> aloneRuns{0};
+
+    /** Persistent cross-run result cache (nullptr when disabled). */
+    std::unique_ptr<ResultCache> resultCache_;
+    std::atomic<std::uint64_t> pointsSimulated_{0};
+    std::atomic<std::uint64_t> pointsFromCache_{0};
 
     RefreshStats lastRefresh;
 };

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Serialized sweep plans: the SweepPoint/mix vocabulary drivers hand to
+ * SweepRunner::runPoints(), as a JSON wire format. This is the request
+ * body of the hira_sweepd sweep service (tools/hira_sweepd.cc) and the
+ * plan-slice file its worker processes consume — one schema for the
+ * whole client → daemon → worker path, so a plan always means the same
+ * points everywhere.
+ *
+ * Schema (all knobs optional except geometry/scheme name):
+ *
+ *     {
+ *       "mixes":  [["spec", ...], ...],   // workload specs per mix
+ *       "warmup": 2000,                   // cycles (default: knobs)
+ *       "cycles": 20000,
+ *       "points": [
+ *         {"geom":   {"capacity_gb": 8.0, "channels": 1, "ranks": 1,
+ *                     "standard": "ddr4_2400"},
+ *          "scheme": {"name": "hira", "slack_n": 4, ...}}
+ *       ]
+ *     }
+ *
+ * "scheme" starts from schemeSpecByName(name) — unknown names are
+ * fatal with the registry listing — and applies any of the SchemeSpec
+ * override keys (slack_n, ref_postpone, periodic_via_hira,
+ * para_enabled, nrh, preventive_via_hira, access_pairing,
+ * refresh_pairing, pull_ahead, spt_isolation, raaimt, prac_threshold,
+ * tracker_size). Round-trips exactly: doubles render with %.17g.
+ */
+
+#ifndef HIRA_SIM_SWEEP_PLAN_HH
+#define HIRA_SIM_SWEEP_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace hira {
+
+/** One serializable unit of sweep work. */
+struct SweepPlan
+{
+    std::vector<WorkloadMix> mixes;
+    std::int64_t warmup = -1; //!< < 0: take the ambient knob default
+    std::int64_t cycles = -1;
+    std::vector<SweepPoint> points;
+};
+
+/**
+ * Parse @p text as a sweep plan. Malformed JSON, unknown scheme names,
+ * and structurally-invalid plans (no points, no mixes, empty mix) are
+ * fatal, naming @p where.
+ */
+SweepPlan sweepPlanFromJson(const std::string &text,
+                            const std::string &where);
+
+/** Render @p plan as JSON (the exact inverse of sweepPlanFromJson). */
+std::string sweepPlanToJson(const SweepPlan &plan);
+
+} // namespace hira
+
+#endif // HIRA_SIM_SWEEP_PLAN_HH

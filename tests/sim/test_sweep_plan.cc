@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the serialized sweep-plan wire format (sim/sweep_plan.hh):
+ * exact round trips, hand-written JSON with defaults, and fatal
+ * diagnostics on malformed plans — the daemon must reject garbage at
+ * the door, not simulate something else.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scheme_registry.hh"
+#include "sim/sweep_plan.hh"
+
+using namespace hira;
+
+namespace {
+
+SweepPlan
+samplePlan()
+{
+    SweepPlan plan;
+    plan.mixes = {{"mcf-like", "gcc-like"}, {"corpus:x?once"}};
+    plan.warmup = 1234;
+    plan.cycles = 56789;
+
+    SweepPoint base;
+    base.scheme = schemeSpecByName("baseline");
+    plan.points.push_back(base);
+
+    SweepPoint hira;
+    hira.geom.capacityGb = 8.04; // %.17g must round-trip this
+    hira.geom.channels = 2;
+    hira.geom.ranks = 4;
+    hira.geom.standard = "ddr5_4800";
+    hira.scheme = schemeSpecByName("hira");
+    hira.scheme.slackN = 8;
+    hira.scheme.paraEnabled = true;
+    hira.scheme.preventiveViaHira = true;
+    hira.scheme.nrh = 333.25;
+    hira.scheme.sptIsolation = 0.17;
+    plan.points.push_back(hira);
+
+    SweepPoint rfm;
+    rfm.scheme = schemeSpecByName("rfm");
+    rfm.scheme.raaimt = 16;
+    plan.points.push_back(rfm);
+    return plan;
+}
+
+} // namespace
+
+TEST(SweepPlan, RoundTripIsExact)
+{
+    SweepPlan plan = samplePlan();
+    SweepPlan back =
+        sweepPlanFromJson(sweepPlanToJson(plan), "round-trip");
+    EXPECT_EQ(back.mixes, plan.mixes);
+    EXPECT_EQ(back.warmup, plan.warmup);
+    EXPECT_EQ(back.cycles, plan.cycles);
+    ASSERT_EQ(back.points.size(), plan.points.size());
+    for (std::size_t i = 0; i < plan.points.size(); ++i) {
+        // The geometry key and scheme seed-key cover every serialized
+        // field injectively, so key equality IS spec equality — and it
+        // is exactly what the result cache hashes.
+        EXPECT_EQ(back.points[i].geom.key(), plan.points[i].geom.key());
+        EXPECT_EQ(back.points[i].geom.standard,
+                  plan.points[i].geom.standard);
+        EXPECT_EQ(back.points[i].scheme.seedKey(),
+                  plan.points[i].scheme.seedKey());
+    }
+}
+
+TEST(SweepPlan, HandWrittenPlanGetsDefaults)
+{
+    SweepPlan plan = sweepPlanFromJson(
+        "{\"mixes\": [[\"mcf-like\"]],"
+        " \"points\": [{\"scheme\": {\"name\": \"hira\"}}]}",
+        "hand-written");
+    EXPECT_EQ(plan.warmup, -1); // ambient knob default
+    EXPECT_EQ(plan.cycles, -1);
+    ASSERT_EQ(plan.points.size(), 1u);
+    // Unset geom keys take the GeomSpec defaults.
+    EXPECT_EQ(plan.points[0].geom.key(), GeomSpec().key());
+    EXPECT_EQ(plan.points[0].scheme.kind, SchemeKind::HiraMc);
+    EXPECT_EQ(plan.points[0].scheme.seedKey(),
+              schemeSpecByName("hira").seedKey());
+}
+
+TEST(SweepPlan, SchemeOverridesApply)
+{
+    SweepPlan plan = sweepPlanFromJson(
+        "{\"mixes\": [[\"mcf-like\"]],"
+        " \"points\": [{\"scheme\": {\"name\": \"hira\","
+        " \"slack_n\": 16, \"para_enabled\": true,"
+        " \"nrh\": 512.5}}]}",
+        "overrides");
+    const SchemeSpec &s = plan.points[0].scheme;
+    EXPECT_EQ(s.slackN, 16);
+    EXPECT_TRUE(s.paraEnabled);
+    EXPECT_EQ(s.nrh, 512.5);
+}
+
+TEST(SweepPlan, MalformedPlansAreFatal)
+{
+    EXPECT_EXIT((void)sweepPlanFromJson("{]", "t"),
+                ::testing::ExitedWithCode(1), "invalid JSON");
+    EXPECT_EXIT((void)sweepPlanFromJson("[]", "t"),
+                ::testing::ExitedWithCode(1),
+                "top level must be an object");
+    EXPECT_EXIT((void)sweepPlanFromJson(
+                    "{\"mixes\": [[\"a\"]], \"points\": []}", "t"),
+                ::testing::ExitedWithCode(1),
+                "'points' is missing or empty");
+    EXPECT_EXIT((void)sweepPlanFromJson(
+                    "{\"points\": [{\"scheme\": {\"name\": "
+                    "\"baseline\"}}]}",
+                    "t"),
+                ::testing::ExitedWithCode(1),
+                "'mixes' is missing or empty");
+    EXPECT_EXIT((void)sweepPlanFromJson(
+                    "{\"mixes\": [[\"a\"]], \"points\": "
+                    "[{\"scheme\": {\"name\": \"frobnicate\"}}]}",
+                    "t"),
+                ::testing::ExitedWithCode(1),
+                "unknown refresh scheme");
+    EXPECT_EXIT((void)sweepPlanFromJson(
+                    "{\"mixes\": [[\"a\"]], \"points\": "
+                    "[{\"scheme\": {\"name\": \"hira\", "
+                    "\"slackety\": 4}}]}",
+                    "t"),
+                ::testing::ExitedWithCode(1),
+                "unknown scheme key 'slackety'");
+    EXPECT_EXIT((void)sweepPlanFromJson(
+                    "{\"mixes\": [[\"a\"]], \"points\": "
+                    "[{\"geom\": {\"chanels\": 2}, \"scheme\": "
+                    "{\"name\": \"hira\"}}]}",
+                    "t"),
+                ::testing::ExitedWithCode(1),
+                "unknown geom key 'chanels'");
+}

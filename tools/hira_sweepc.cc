@@ -1,0 +1,130 @@
+/**
+ * @file
+ * hira_sweepc: submit one sweep plan to a running hira_sweepd and
+ * print the reply. The plan comes from --plan <file> or stdin; the
+ * reply (the daemon's JSON response) goes to stdout verbatim. Exits
+ * nonzero unless the daemon reports {"status": "ok"} — so shell
+ * pipelines and CI steps can gate on completion directly.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+using namespace hira;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf("usage: %s --socket <path> [--plan <file>]\n"
+                "\n"
+                "Submit a JSON sweep plan (src/sim/sweep_plan.hh; from "
+                "--plan or stdin)\nto a running hira_sweepd and print "
+                "its reply. Exit status 0 iff the\ndaemon answered "
+                "\"status\": \"ok\".\n",
+                argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string planPath;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *name) -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", name);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socketPath = value("--socket");
+        } else if (arg == "--plan") {
+            planPath = value("--plan");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (socketPath.empty())
+        fatal("--socket <path> is required");
+
+    std::string plan;
+    if (!planPath.empty()) {
+        std::ifstream in(planPath, std::ios::binary);
+        if (!in)
+            fatal("cannot read '%s'", planPath.c_str());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        plan = buf.str();
+    } else {
+        std::stringstream buf;
+        buf << std::cin.rdbuf();
+        plan = buf.str();
+    }
+    if (plan.empty())
+        fatal("empty plan (give --plan <file> or pipe JSON to stdin)");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        fatal("socket path '%s' exceeds the AF_UNIX limit (%zu bytes)",
+              socketPath.c_str(), sizeof(addr.sun_path) - 1);
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket: %s", std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        fatal("connect %s: %s (is hira_sweepd running?)",
+              socketPath.c_str(), std::strerror(errno));
+    }
+
+    std::size_t off = 0;
+    while (off < plan.size()) {
+        ssize_t w = ::write(fd, plan.data() + off, plan.size() - off);
+        if (w <= 0)
+            fatal("write: %s", std::strerror(errno));
+        off += static_cast<std::size_t>(w);
+    }
+    ::shutdown(fd, SHUT_WR); // EOF frames the request
+
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+        reply.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    if (reply.empty())
+        fatal("daemon closed the connection without a reply");
+    std::fwrite(reply.data(), 1, reply.size(), stdout);
+
+    JsonValue root = parseJson(reply, "sweepd reply");
+    const JsonValue *status = root.get("status");
+    if (status == nullptr ||
+        status->kind != JsonValue::Kind::String ||
+        status->string != "ok") {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * hira_sweepd: the sweep service — a long-running daemon that accepts
+ * serialized sweep plans (src/sim/sweep_plan.hh JSON) over a
+ * unix-domain socket, serves every point it can from the shared result
+ * cache, and shards the cache misses across a pool of worker
+ * *processes* (fork/exec of this same binary in --worker mode, one
+ * plan slice each). Workers commit each completed point to the cache
+ * directory before starting the next, so the cache doubles as the
+ * checkpoint: a plan killed mid-run and resubmitted resumes from the
+ * completed points only — nothing is re-simulated.
+ *
+ * Daemon:   hira_sweepd --socket <path> --cache <dir> [--workers N]
+ * Worker:   hira_sweepd --worker --plan <file> --cache <dir>
+ * Client:   hira_sweepc --socket <path> [--plan <file>]   (or stdin)
+ *
+ * Protocol: the client writes one JSON sweep plan and half-closes; the
+ * daemon replies with one JSON object {"status", "points_total",
+ * "points_cached", "points_simulated", "results": [...]} and closes.
+ * Simulation behavior (engine, kernel, metrics, corpus, threads per
+ * worker) comes from the daemon's environment, which workers inherit —
+ * the same knobs that feed the cache keys, so daemon and workers can
+ * never disagree on what a point means.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/knobs.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/result_cache.hh"
+#include "sim/sweep_plan.hh"
+
+using namespace hira;
+
+namespace {
+
+struct Options
+{
+    std::string socketPath;
+    std::string cacheDir;
+    std::string planPath;
+    int workers = 2;
+    bool workerMode = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --socket <path> --cache <dir> [--workers N]\n"
+        "       %s --worker --plan <file> --cache <dir>\n"
+        "\n"
+        "Sweep service: accepts JSON sweep plans (see "
+        "src/sim/sweep_plan.hh)\n"
+        "over a unix-domain socket, serves cached points from <dir>, "
+        "and\n"
+        "shards the misses across N worker processes. Submit plans "
+        "with\n"
+        "hira_sweepc.\n",
+        argv0, argv0);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *name) -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", name);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opt.socketPath = value("--socket");
+        } else if (arg == "--cache") {
+            opt.cacheDir = value("--cache");
+        } else if (arg == "--plan") {
+            opt.planPath = value("--plan");
+        } else if (arg == "--workers") {
+            opt.workers = std::atoi(value("--workers").c_str());
+            if (opt.workers < 1)
+                fatal("--workers must be >= 1");
+        } else if (arg == "--worker") {
+            opt.workerMode = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (opt.cacheDir.empty())
+        fatal("--cache <dir> is required (the shared result cache)");
+    if (opt.workerMode && opt.planPath.empty())
+        fatal("--worker needs --plan <file>");
+    if (!opt.workerMode && opt.socketPath.empty())
+        fatal("--socket <path> is required in daemon mode");
+    return opt;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Knobs a plan runs under: the environment, plus plan overrides. */
+BenchKnobs
+planKnobs(const SweepPlan &plan)
+{
+    BenchKnobs knobs = BenchKnobs::fromEnv();
+    if (plan.warmup >= 0)
+        knobs.warmup = plan.warmup;
+    if (plan.cycles >= 0)
+        knobs.cycles = plan.cycles;
+    return knobs;
+}
+
+/**
+ * Worker mode: evaluate the plan slice ONE POINT PER runPoints() CALL,
+ * so every completed point is committed to the cache before the next
+ * starts — this per-point granularity is the daemon's checkpoint.
+ * Alone-IPC runs are shared across the calls through the runner's
+ * in-memory cache and persisted through the disk cache.
+ */
+int
+runWorker(const Options &opt)
+{
+    SweepPlan plan =
+        sweepPlanFromJson(readFile(opt.planPath), opt.planPath);
+    BenchKnobs knobs = planKnobs(plan);
+    SweepRunner runner(knobs, plan.mixes);
+    runner.setResultCache(std::make_unique<ResultCache>(
+        opt.cacheDir, ResultCacheMode::ReadWrite));
+    for (const SweepPoint &p : plan.points)
+        runner.runPoints({p});
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Daemon mode
+// ---------------------------------------------------------------------
+
+/**
+ * Shard @p missPoints round-robin across worker processes and wait for
+ * all of them. Slice plans land next to the cache entries (the daemon
+ * may not have write access anywhere else). Returns the number of
+ * workers that exited cleanly.
+ */
+int
+runWorkers(const char *argv0, const Options &opt, const SweepPlan &plan,
+           const BenchKnobs &knobs,
+           const std::vector<SweepPoint> &missPoints)
+{
+    int nWorkers = static_cast<int>(
+        std::min<std::size_t>(opt.workers, missPoints.size()));
+    std::vector<SweepPlan> slices(nWorkers);
+    for (int w = 0; w < nWorkers; ++w) {
+        slices[w].mixes = plan.mixes;
+        slices[w].warmup = knobs.warmup;
+        slices[w].cycles = knobs.cycles;
+    }
+    for (std::size_t i = 0; i < missPoints.size(); ++i)
+        slices[i % nWorkers].points.push_back(missPoints[i]);
+
+    std::vector<pid_t> pids;
+    std::vector<std::string> sliceFiles;
+    for (int w = 0; w < nWorkers; ++w) {
+        std::string path = strprintf("%s/plan-slice.%ld.%d.json",
+                                     opt.cacheDir.c_str(),
+                                     static_cast<long>(::getpid()), w);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << sweepPlanToJson(slices[w]);
+        out.close();
+        if (!out)
+            fatal("cannot write plan slice '%s'", path.c_str());
+        sliceFiles.push_back(path);
+
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            ::execlp(argv0, argv0, "--worker", "--plan", path.c_str(),
+                     "--cache", opt.cacheDir.c_str(),
+                     static_cast<char *>(nullptr));
+            std::fprintf(stderr, "execlp %s: %s\n", argv0,
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        pids.push_back(pid);
+    }
+
+    int clean = 0;
+    for (pid_t pid : pids) {
+        int status = 0;
+        if (::waitpid(pid, &status, 0) == pid &&
+            WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            ++clean;
+        } else {
+            warn("sweep worker %ld failed (status 0x%x); its remaining "
+                 "points stay uncached",
+                 static_cast<long>(pid), status);
+        }
+    }
+    for (const std::string &path : sliceFiles)
+        std::remove(path.c_str());
+    return clean;
+}
+
+/** Handle one request: plan in, results (or error) out. */
+std::string
+handleRequest(const char *argv0, const Options &opt,
+              const std::string &request)
+{
+    SweepPlan plan = sweepPlanFromJson(request, "sweepd request");
+    BenchKnobs knobs = planKnobs(plan);
+
+    // The daemon only ever READS the cache; workers do the writing.
+    ResultCache cache(opt.cacheDir, ResultCacheMode::Read);
+
+    std::vector<std::string> keys;
+    for (const SweepPoint &p : plan.points)
+        keys.push_back(p.cacheKey(knobs, plan.mixes));
+
+    std::vector<PointResult> results(plan.points.size());
+    std::vector<bool> cached(plan.points.size(), false);
+    std::vector<SweepPoint> missPoints;
+    for (std::size_t i = 0; i < plan.points.size(); ++i) {
+        if (cache.lookupPoint(keys[i], results[i]))
+            cached[i] = true;
+        else
+            missPoints.push_back(plan.points[i]);
+    }
+    std::size_t nCached = plan.points.size() - missPoints.size();
+
+    if (!missPoints.empty()) {
+        inform("sweepd: plan of %zu points: %zu cached, %zu to "
+                 "simulate across %d workers",
+                 plan.points.size(), nCached, missPoints.size(),
+                 opt.workers);
+        runWorkers(argv0, opt, plan, knobs, missPoints);
+        // Re-read every miss from the (now worker-populated) cache. A
+        // failed/killed worker leaves holes; those points are reported
+        // as errors so a resubmit can finish them.
+        for (std::size_t i = 0; i < plan.points.size(); ++i) {
+            if (!cached[i] && !cache.lookupPoint(keys[i], results[i])) {
+                return strprintf(
+                    "{\"status\": \"error\", \"error\": \"point %zu "
+                    "(%s on %s) did not complete; resubmit the plan to "
+                    "resume\"}\n",
+                    i, jsonEscape(plan.points[i].scheme.label()).c_str(),
+                    jsonEscape(plan.points[i].geom.key()).c_str());
+            }
+        }
+    }
+
+    std::string out = strprintf(
+        "{\n  \"status\": \"ok\",\n  \"points_total\": %zu,\n"
+        "  \"points_cached\": %zu,\n  \"points_simulated\": %zu,\n"
+        "  \"results\": [",
+        plan.points.size(), nCached, missPoints.size());
+    for (std::size_t i = 0; i < plan.points.size(); ++i) {
+        const SweepPoint &p = plan.points[i];
+        const PointResult &r = results[i];
+        const RefreshStats &rs = r.refresh;
+        out += i == 0 ? "\n" : ",\n";
+        out += strprintf(
+            "    {\"label\": \"%s\", \"geom\": \"%s\", "
+            "\"mean_ws\": %s, \"wall_seconds\": %s, "
+            "\"sim_cycles\": %llu, \"cache_hit\": %s, "
+            "\"refresh\": {\"ref_commands\": %llu, "
+            "\"row_refreshes\": %llu, \"deadline_misses\": %llu, "
+            "\"preventive_generated\": %llu}}",
+            jsonEscape(p.scheme.label()).c_str(),
+            jsonEscape(p.geom.key()).c_str(),
+            jsonDouble(r.meanWs).c_str(),
+            jsonDouble(r.wallSeconds).c_str(),
+            static_cast<unsigned long long>(r.simCycles),
+            cached[i] ? "true" : "false",
+            static_cast<unsigned long long>(rs.refCommands),
+            static_cast<unsigned long long>(rs.rowRefreshes),
+            static_cast<unsigned long long>(rs.deadlineMisses),
+            static_cast<unsigned long long>(rs.preventiveGenerated));
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+int
+runDaemon(const char *argv0, const Options &opt)
+{
+    // A dying client mid-reply must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt.socketPath.size() >= sizeof(addr.sun_path)) {
+        fatal("socket path '%s' exceeds the AF_UNIX limit (%zu bytes); "
+              "use a shorter path",
+              opt.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+    }
+    std::strncpy(addr.sun_path, opt.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket: %s", std::strerror(errno));
+    ::unlink(opt.socketPath.c_str()); // stale socket from a kill
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatal("bind %s: %s", opt.socketPath.c_str(),
+              std::strerror(errno));
+    }
+    if (::listen(fd, 8) != 0)
+        fatal("listen: %s", std::strerror(errno));
+    inform("sweepd: listening on %s (cache %s, %d workers)",
+             opt.socketPath.c_str(), opt.cacheDir.c_str(), opt.workers);
+
+    for (;;) {
+        int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("accept: %s", std::strerror(errno));
+        }
+        // Request framing: read to EOF (the client half-closes).
+        std::string request;
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::read(conn, buf, sizeof(buf))) > 0)
+            request.append(buf, static_cast<std::size_t>(n));
+        std::string reply = handleRequest(argv0, opt, request);
+        std::size_t off = 0;
+        while (off < reply.size()) {
+            ssize_t w =
+                ::write(conn, reply.data() + off, reply.size() - off);
+            if (w <= 0)
+                break; // client went away; nothing to salvage
+            off += static_cast<std::size_t>(w);
+        }
+        ::close(conn);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    if (opt.workerMode)
+        return runWorker(opt);
+    return runDaemon(argv[0], opt);
+}

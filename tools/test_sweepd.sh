@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# Integration test for the hira_sweepd sweep service.
+#
+#   test_sweepd.sh <hira_sweepd> <hira_sweepc> <workdir> [quick|full]
+#
+# quick (the smoke tier): checkpoint priming through a direct --worker
+# run, daemon serving a plan that is half cached, and a warm resubmit
+# that simulates nothing.
+# full (the integration tier): quick, plus kill -9 of the daemon and
+# its workers mid-plan followed by a resume — the resubmitted plan must
+# complete, serving every point that finished before the kill from the
+# cache checkpoint.
+set -eu
+
+SWEEPD=$1
+SWEEPC=$2
+WORKDIR=$3
+MODE=${4:-full}
+
+mkdir -p "$WORKDIR"
+cd "$WORKDIR"
+rm -rf cache cache2 d.sock plan.json plan2.json slice.json out*.json \
+    daemon*.log
+mkdir -p cache
+
+# Pin the simulation environment: the daemon's env feeds the cache keys
+# and the workers inherit it, so ambient knobs must not leak in.
+export HIRA_THREADS=2
+export HIRA_METRICS=
+export HIRA_TRACE_EVENTS=
+export HIRA_CORPUS=
+export HIRA_CORPUS_ONCE=
+export HIRA_RESULT_CACHE=
+export HIRA_RESULT_CACHE_MODE=
+export HIRA_CACHE_REV=
+export HIRA_STANDARD=
+export HIRA_JSON=
+
+DPID=""
+cleanup() {
+    if [ -n "$DPID" ]; then
+        pkill -9 -P "$DPID" 2> /dev/null || true
+        kill -9 "$DPID" 2> /dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# Integer field of a one-key-per-line JSON reply.
+field() {
+    sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+points() {
+    ls "$1"/*.point 2> /dev/null | wc -l
+}
+
+wait_for_socket() {
+    for _ in $(seq 1 100); do
+        [ -S d.sock ] && return 0
+        sleep 0.1
+    done
+    fail "daemon socket never appeared"
+}
+
+cat > plan.json << 'EOF'
+{
+  "mixes": [["mcf-like", "gcc-like"], ["libquantum-like", "h264-like"]],
+  "warmup": 1000,
+  "cycles": 8000,
+  "points": [
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "baseline"}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "hira", "slack_n": 4}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "rfm"}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "prac"}}
+  ]
+}
+EOF
+
+# Phase A: prime the checkpoint with a direct --worker run of the first
+# two points. This is exactly what a daemon worker executes, so the
+# entries it commits must satisfy the daemon's later lookups.
+cat > slice.json << 'EOF'
+{
+  "mixes": [["mcf-like", "gcc-like"], ["libquantum-like", "h264-like"]],
+  "warmup": 1000,
+  "cycles": 8000,
+  "points": [
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "baseline"}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "hira", "slack_n": 4}}
+  ]
+}
+EOF
+"$SWEEPD" --worker --plan slice.json --cache cache
+[ "$(points cache)" -eq 2 ] || \
+    fail "worker run committed $(points cache) points, expected 2"
+
+# Phase B: daemon serves the full plan — two points from the primed
+# cache, two simulated by worker processes.
+"$SWEEPD" --socket d.sock --cache cache --workers 2 \
+    > daemon1.log 2>&1 &
+DPID=$!
+wait_for_socket
+"$SWEEPC" --socket d.sock --plan plan.json > out1.json
+[ "$(field out1.json points_total)" -eq 4 ] || fail "B: total != 4"
+[ "$(field out1.json points_cached)" -eq 2 ] || \
+    fail "B: expected 2 cached points, got $(field out1.json points_cached)"
+[ "$(field out1.json points_simulated)" -eq 2 ] || \
+    fail "B: expected 2 simulated points"
+[ "$(points cache)" -eq 4 ] || fail "B: cache should now hold 4 points"
+
+# Phase C: warm resubmit — nothing simulates.
+"$SWEEPC" --socket d.sock --plan plan.json > out2.json
+[ "$(field out2.json points_cached)" -eq 4 ] || fail "C: not all cached"
+[ "$(field out2.json points_simulated)" -eq 0 ] || \
+    fail "C: warm plan re-simulated points"
+
+kill "$DPID" 2> /dev/null || true
+wait "$DPID" 2> /dev/null || true
+DPID=""
+
+if [ "$MODE" = "quick" ]; then
+    echo "PASS (quick)"
+    exit 0
+fi
+
+# Phase D: kill mid-run, then resume. A longer 6-point plan against a
+# fresh cache; as soon as the first point commits, the daemon and its
+# workers are killed -9. The resubmitted plan must complete, serving
+# at least the already-committed points from the checkpoint.
+mkdir -p cache2
+cat > plan2.json << 'EOF'
+{
+  "mixes": [["mcf-like", "gcc-like"], ["libquantum-like", "h264-like"]],
+  "warmup": 2000,
+  "cycles": 60000,
+  "points": [
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "baseline"}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "hira", "slack_n": 2}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "hira", "slack_n": 4}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "hira", "slack_n": 8}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "rfm"}},
+    {"geom": {"capacity_gb": 8.0}, "scheme": {"name": "prac"}}
+  ]
+}
+EOF
+rm -f d.sock
+"$SWEEPD" --socket d.sock --cache cache2 --workers 2 \
+    > daemon2.log 2>&1 &
+DPID=$!
+wait_for_socket
+"$SWEEPC" --socket d.sock --plan plan2.json > out3.json 2> /dev/null &
+CPID=$!
+for _ in $(seq 1 600); do
+    [ "$(points cache2)" -ge 1 ] && break
+    sleep 0.1
+done
+[ "$(points cache2)" -ge 1 ] || fail "D: no point ever committed"
+pkill -9 -P "$DPID" 2> /dev/null || true
+kill -9 "$DPID" 2> /dev/null || true
+wait "$CPID" 2> /dev/null && fail "D: client should fail after the kill"
+DPID=""
+PRE=$(points cache2)
+[ "$PRE" -lt 6 ] || echo "note: all 6 points finished before the kill"
+
+# Resume: a fresh daemon, same plan, same cache. Completed points come
+# from the checkpoint; only the remainder simulates.
+rm -f d.sock
+"$SWEEPD" --socket d.sock --cache cache2 --workers 2 \
+    > daemon3.log 2>&1 &
+DPID=$!
+wait_for_socket
+"$SWEEPC" --socket d.sock --plan plan2.json > out4.json
+[ "$(field out4.json points_total)" -eq 6 ] || fail "D: total != 6"
+[ "$(field out4.json points_cached)" -eq "$PRE" ] || \
+    fail "D: resume served $(field out4.json points_cached) cached, expected $PRE"
+[ "$(field out4.json points_simulated)" -eq $((6 - PRE)) ] || \
+    fail "D: resume simulated $(field out4.json points_simulated), expected $((6 - PRE))"
+
+# And a final warm pass: the resumed plan is now fully cached.
+"$SWEEPC" --socket d.sock --plan plan2.json > out5.json
+[ "$(field out5.json points_simulated)" -eq 0 ] || \
+    fail "D: post-resume warm plan re-simulated points"
+
+kill "$DPID" 2> /dev/null || true
+wait "$DPID" 2> /dev/null || true
+DPID=""
+echo "PASS (full)"
